@@ -1,0 +1,6 @@
+"""Design-choice ablations (annotation, integrated, safe-alloc, adaptive)."""
+
+
+def test_ablations(regenerate):
+    result = regenerate("ablations")
+    assert all(row[-1] == "yes" for row in result.rows)

@@ -1,0 +1,12 @@
+"""Figure 2 — NPB bandwidth requirements vs interconnect capacity."""
+
+import pytest
+
+
+def test_figure02(regenerate):
+    result = regenerate("fig2")
+    rows = result.row_map("benchmark")
+    pcie = result.headers.index("maxIPC:PCIe 2.0 x16")
+    # The paper's break-points: PCIe caps bt at IPC~50 and ua at IPC~5.
+    assert rows["bt"][pcie] == pytest.approx(50, rel=0.2)
+    assert rows["ua"][pcie] == pytest.approx(5, rel=0.2)

@@ -1,0 +1,17 @@
+"""Figure 7 — GMAC slow-down vs CUDA (full-size Parboil runs)."""
+
+
+def test_figure07(regenerate):
+    result = regenerate("fig7")
+    rows = result.row_map("benchmark")
+    batch = result.headers.index("batch slow-down")
+    lazy = result.headers.index("lazy slow-down")
+    rolling = result.headers.index("rolling slow-down")
+    assert all(row[-1] == "yes" for row in result.rows)
+    # Paper: batch up to 65.18x on pns and 18.61x on rpes.
+    assert rows["pns"][batch] > 20
+    assert rows["rpes"][batch] > 8
+    # Paper: lazy and rolling achieve performance equal to CUDA.
+    for row in result.rows:
+        assert row[lazy] < 1.3
+        assert row[rolling] < 1.3

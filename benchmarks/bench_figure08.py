@@ -1,0 +1,13 @@
+"""Figure 8 — transferred data normalized to batch-update."""
+
+
+def test_figure08(regenerate):
+    result = regenerate("fig8")
+    rows = result.row_map("benchmark")
+    # Iterative benchmarks: fault-driven protocols move tiny fractions.
+    for name in ("pns", "rpes"):
+        assert rows[name][1] < 0.1 and rows[name][3] < 0.1
+    # Paper: rolling's fine grain avoids transfers on mri-q.
+    lazy_d2h = result.headers.index("lazy d2h/batch")
+    rolling_d2h = result.headers.index("rolling d2h/batch")
+    assert rows["mri-q"][rolling_d2h] < rows["mri-q"][lazy_d2h]

@@ -1,0 +1,19 @@
+"""Figure 9 — 3D-Stencil across volume and block sizes."""
+
+
+def test_figure09(regenerate):
+    result = regenerate("fig9")
+    assert all(row[-1] == "yes" for row in result.rows)
+    lazy = result.headers.index("lazy ms")
+    tiny = result.headers.index("rolling 4KB ms")
+    mid = result.headers.index("rolling 256KB ms")
+    huge = result.headers.index("rolling 32MB ms")
+    largest = result.rows[-1]
+    # Paper: rolling (moderate blocks) beats lazy increasingly with volume;
+    # 4KB pays fault/latency overheads; 32MB behaves like whole-object.
+    assert largest[mid] < largest[lazy]
+    assert largest[tiny] > largest[mid]
+    assert largest[huge] >= largest[mid]
+    gain_small = result.rows[0][lazy] - result.rows[0][mid]
+    gain_large = largest[lazy] - largest[mid]
+    assert gain_large > gain_small

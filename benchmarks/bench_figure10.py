@@ -1,0 +1,17 @@
+"""Figure 10 — execution-time break-down under rolling-update."""
+
+import pytest
+
+
+def test_figure10(regenerate):
+    result = regenerate("fig10")
+    signal = result.headers.index("Signal%")
+    ioread = result.headers.index("IORead%")
+    rows = result.row_map("benchmark")
+    for row in result.rows:
+        assert sum(row[1:]) == pytest.approx(100.0, abs=0.5)
+        # Paper: signal handling "always below 2% of the total".
+        assert row[signal] < 2.5, (row[0], row[signal])
+    # Paper: mri-fhd and mri-q have high levels of I/O read activity.
+    assert rows["mri-fhd"][ioread] > 25
+    assert rows["mri-q"][ioread] > 25

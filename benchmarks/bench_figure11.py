@@ -1,0 +1,22 @@
+"""Figure 11 — vecadd transfer times and bandwidth vs block size."""
+
+
+def test_figure11(regenerate):
+    result = regenerate("fig11")
+    assert all(row[-1] == "yes" for row in result.rows)
+    h2d_bw = result.headers.index("H2D GB/s")
+    cpu_to_gpu = result.headers.index("CPU-to-GPU ms")
+    gpu_to_cpu = result.headers.index("GPU-to-CPU ms")
+    bandwidths = [row[h2d_bw] for row in result.rows]
+    uploads = [row[cpu_to_gpu] for row in result.rows]
+    downloads = [row[gpu_to_cpu] for row in result.rows]
+    # Paper: bandwidth rises monotonically, maximal at 32MB.
+    assert bandwidths == sorted(bandwidths)
+    # Paper: small blocks pay fault+latency overheads...
+    assert uploads[0] == max(uploads)
+    assert downloads == sorted(downloads, reverse=True)
+    # ...and the anomaly: some mid-size block beats every larger size
+    # (eager eviction overlap), so CPU-to-GPU time is non-monotonic.
+    best = uploads.index(min(uploads))
+    assert 0 < best < len(uploads) - 1
+    assert min(uploads) < uploads[-1]

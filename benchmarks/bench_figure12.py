@@ -1,0 +1,21 @@
+"""Figure 12 — tpacf under fixed rolling sizes 1/2/4."""
+
+
+def test_figure12(regenerate):
+    result = regenerate("fig12")
+    assert all(row[-1] == "yes" for row in result.rows)
+    col1 = result.headers.index("tpacf-1 ms")
+    col2 = result.headers.index("tpacf-2 ms")
+    col4 = result.headers.index("tpacf-4 ms")
+    by_block = {row[0]: row for row in result.rows}
+    # Small blocks + small rolling size: continuous re-transfer.
+    assert by_block["128KB"][col1] > by_block["4MB"][col1]
+    # The critical block size scales as ~TILE/R: rolling 2 recovers at half
+    # the block size rolling 1 needs.
+    assert by_block["512KB"][col2] < by_block["512KB"][col1] * 1.02
+    # Rolling size 4 is the flattest of the three.
+    spreads = {}
+    for label, column in (("1", col1), ("2", col2), ("4", col4)):
+        values = [row[column] for row in result.rows]
+        spreads[label] = max(values) / min(values)
+    assert spreads["4"] <= spreads["1"]

@@ -1,0 +1,15 @@
+"""Section 5 porting effort + Section 2.2 motivation numbers."""
+
+import pytest
+
+
+def test_porting(regenerate):
+    result = regenerate("porting")
+    # Paper: porting only removes lines; every benchmark shrinks.
+    assert all(row[-1] == "yes" for row in result.rows)
+
+
+def test_motivation(regenerate):
+    result = regenerate("motivation")
+    for row in result.rows:
+        assert row[-1] == pytest.approx(0.99, abs=0.02)

@@ -1,0 +1,8 @@
+"""Table 2 — the Parboil suite inventory."""
+
+
+def test_table02(regenerate):
+    result = regenerate("tab2")
+    assert {row[0] for row in result.rows} == {
+        "cp", "mri-fhd", "mri-q", "pns", "rpes", "sad", "tpacf",
+    }

@@ -1,0 +1,38 @@
+"""Benchmark harness plumbing.
+
+Each bench module regenerates one paper table/figure through the experiment
+registry, times it with pytest-benchmark (one round — these are simulation
+campaigns, not microseconds-scale functions), verifies the paper-shape
+assertions, and writes the rendered table to ``results/<id>.txt`` so the
+regenerated artifact is inspectable after the run.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run one experiment under the benchmark timer and persist its table."""
+
+    def run(experiment_id, quick=False):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"quick": quick},
+            rounds=1,
+            iterations=1,
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(
+            result.render() + "\n"
+        )
+        (RESULTS_DIR / f"{experiment_id}.json").write_text(result.to_json())
+        return result
+
+    return run

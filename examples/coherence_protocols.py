@@ -1,0 +1,89 @@
+"""Comparing GMAC's three coherence protocols on an iterative solver.
+
+The same Jacobi-style iteration runs under batch-, lazy- and rolling-update
+(Figure 6 of the paper).  The CPU only samples a residual each step, so the
+fault-driven protocols move almost nothing, while batch-update re-transfers
+the whole state around every kernel call — the Figure 7 effect in ~60
+lines.
+
+Run:  python examples/coherence_protocols.py
+"""
+
+import numpy as np
+
+from repro import reference_system, Application, Kernel
+from repro.util.tables import render_table
+
+
+def jacobi_fn(gpu, grid, scratch, residual, n):
+    current = gpu.view(grid, "f4", n * n).reshape(n, n)
+    nxt = gpu.view(scratch, "f4", n * n).reshape(n, n)
+    nxt[:] = current
+    nxt[1:-1, 1:-1] = 0.25 * (
+        current[:-2, 1:-1] + current[2:, 1:-1]
+        + current[1:-1, :-2] + current[1:-1, 2:]
+    )
+    gpu.view(residual, "f4", 1)[0] = np.abs(nxt - current).max()
+    current[:] = nxt
+
+
+JACOBI = Kernel(
+    "jacobi",
+    jacobi_fn,
+    cost=lambda grid, scratch, residual, n: (6 * n * n, 12 * n * n),
+    writes=("grid", "scratch", "residual"),
+)
+
+
+def run(protocol, n=512, steps=24):
+    machine = reference_system()
+    app = Application(machine)
+    gmac = app.gmac(protocol=protocol, layer="driver")
+    grid = gmac.alloc(4 * n * n, name="grid")
+    scratch = gmac.alloc(4 * n * n, name="scratch")
+    residual = gmac.alloc(4, name="residual")
+
+    rng = np.random.default_rng(42)
+    grid.write_array(rng.random((n, n)).astype(np.float32))
+    residuals = []
+    for _ in range(steps):
+        gmac.call(JACOBI, grid=grid, scratch=scratch, residual=residual, n=n)
+        gmac.sync()
+        residuals.append(float(residual.read_array("f4", 1)[0]))
+
+    assert residuals == sorted(residuals, reverse=True), "diverging Jacobi?"
+    return {
+        "protocol": protocol,
+        "time_ms": machine.clock.now * 1e3,
+        "h2d_mb": gmac.bytes_to_accelerator / 2**20,
+        "d2h_mb": gmac.bytes_to_host / 2**20,
+        "faults": gmac.fault_count,
+        "final_residual": residuals[-1],
+    }
+
+
+def main():
+    rows = []
+    for protocol in ("batch", "lazy", "rolling"):
+        stats = run(protocol)
+        rows.append(
+            [
+                stats["protocol"],
+                round(stats["time_ms"], 2),
+                round(stats["h2d_mb"], 2),
+                round(stats["d2h_mb"], 2),
+                stats["faults"],
+                round(stats["final_residual"], 6),
+            ]
+        )
+    print(render_table(
+        ["protocol", "time ms", "H2D MB", "D2H MB", "faults", "residual"],
+        rows,
+        title="Jacobi iteration under GMAC's coherence protocols",
+    ))
+    print("\nbatch-update moves the whole state twice per kernel call;")
+    print("lazy/rolling move only the 4-byte residual the CPU actually reads.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Scheduling kernels across several accelerators.
+
+The Figure 5 kernel scheduler "selects the most appropriate accelerator for
+execution of a given kernel".  This walk-through launches a batch of
+independent kernels on a 3-GPU machine under each policy and reports the
+completion time and per-GPU launch distribution.
+
+Run:  python examples/multi_gpu_scheduler.py
+"""
+
+from repro import Kernel
+from repro.hw.machine import reference_system
+from repro.workloads.base import Application
+from repro.core.scheduler import KernelScheduler, POLICIES
+from repro.util.tables import render_table
+
+
+def _work(gpu, units):
+    pass  # timing-only kernel: the cost model does the talking
+
+
+WORK = Kernel("work", _work, cost=lambda units: (units, 0))
+
+
+def run(policy_name, launches=12):
+    machine = reference_system(gpu_count=3)
+    app = Application(machine)
+    scheduler = KernelScheduler(machine, app.process, policy=policy_name)
+    for index in range(launches):
+        # A mix of long and short kernels, like a real job stream.
+        units = 400_000_000 if index % 3 == 0 else 80_000_000
+        scheduler.launch(WORK, {"units": units})
+    scheduler.synchronize()
+    return machine.clock.now, scheduler.launch_counts
+
+
+def main():
+    rows = []
+    for policy_name in sorted(POLICIES):
+        elapsed, counts = run(policy_name)
+        rows.append([policy_name, round(elapsed * 1e3, 3), str(counts)])
+    print(render_table(
+        ["policy", "makespan ms", "launches per GPU"],
+        rows,
+        title="12 mixed kernels on a 3-GPU machine",
+    ))
+    print("\nleast-loaded and predictive pack the queues evenly; "
+          "round-robin ignores kernel length.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works without wheel.
+
+The offline environment lacks the `wheel` package, which PEP 517 editable
+installs require; this file lets pip fall back to `setup.py develop`.
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

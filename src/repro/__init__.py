@@ -1,0 +1,48 @@
+"""Reproduction of *An Asymmetric Distributed Shared Memory Model for
+Heterogeneous Parallel Systems* (Gelado et al., ASPLOS 2010).
+
+The package is layered bottom-up (see DESIGN.md):
+
+* :mod:`repro.util` — intervals, the balanced block-index tree, units,
+* :mod:`repro.sim` — virtual time, resource timelines, time accounting,
+* :mod:`repro.hw` — CPU/GPU/PCIe/disk models (the Figure 1 machine),
+* :mod:`repro.os` — simulated mmap/mprotect/SIGSEGV/files/libc,
+* :mod:`repro.cuda` — a CUDA-like driver and runtime API,
+* :mod:`repro.core` — **GMAC**, the paper's contribution,
+* :mod:`repro.workloads` — Parboil-like benchmarks, 3D-Stencil, vector
+  add, and the NPB bandwidth model,
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import reference_system, Application
+
+    machine = reference_system()
+    app = Application(machine)
+    gmac = app.gmac(protocol="rolling")
+    data = gmac.alloc(1 << 20)           # one pointer, both processors
+    data.write_array(my_numpy_array)      # plain CPU stores
+    gmac.call(my_kernel, data=data, n=n)  # adsmCall
+    gmac.sync()                           # adsmSync
+    result = data.read_array("f4", n)     # faults data back on demand
+"""
+
+from repro.hw.machine import Machine, reference_system, integrated_system
+from repro.core.api import Gmac, SharedPtr
+from repro.cuda.kernels import Kernel
+from repro.cuda.runtime import CudaRuntime
+from repro.workloads.base import Application
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "reference_system",
+    "integrated_system",
+    "Gmac",
+    "SharedPtr",
+    "Kernel",
+    "CudaRuntime",
+    "Application",
+    "__version__",
+]

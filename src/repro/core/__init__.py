@@ -1,0 +1,38 @@
+"""GMAC: the paper's contribution — a user-level ADSM run-time.
+
+The public entry point is :class:`~repro.core.api.Gmac`, which implements
+the Table 1 API (``adsmAlloc``, ``adsmFree``, ``adsmCall``, ``adsmSync``)
+plus the Section 4.2 safe variants (``adsmSafeAlloc``, ``adsmSafe``), over
+a pluggable coherence protocol (batch-, lazy- or rolling-update; Figure 6)
+and one of two accelerator abstraction layers (runtime or driver;
+Figure 5).  Library interposition of I/O and bulk-memory calls
+(Section 4.4) is installed automatically.
+"""
+
+from repro.core.api import Gmac, SharedPtr
+from repro.core.blocks import Block, BlockState
+from repro.core.region import SharedRegion
+from repro.core.costs import GmacCostModel
+from repro.core.manager import Manager
+from repro.core.protocols import (
+    Protocol,
+    BatchUpdate,
+    LazyUpdate,
+    RollingUpdate,
+    PROTOCOLS,
+)
+
+__all__ = [
+    "Gmac",
+    "SharedPtr",
+    "Block",
+    "BlockState",
+    "SharedRegion",
+    "GmacCostModel",
+    "Manager",
+    "Protocol",
+    "BatchUpdate",
+    "LazyUpdate",
+    "RollingUpdate",
+    "PROTOCOLS",
+]

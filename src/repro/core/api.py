@@ -1,0 +1,222 @@
+"""The GMAC public API: Table 1 plus the Section 4.2 safe variants.
+
+=================  ==========================================================
+Call               Paper description
+=================  ==========================================================
+``adsmAlloc``      allocate shared memory, return one pointer for CPU + GPU
+``adsmFree``       release a shared region
+``adsmCall``       launch a kernel on the accelerator (releases objects)
+``adsmSync``       wait for the accelerator (re-acquires objects)
+``adsmSafeAlloc``  collision-safe allocation: the pointer is CPU-only
+``adsmSafe``       translate a CPU pointer to its accelerator twin
+=================  ==========================================================
+
+The consistency model is release consistency with implicit primitives:
+objects are released at ``adsmCall`` and acquired at ``adsmSync``
+(Section 3.3) — no explicit ``cudaMemcpy`` anywhere in application code.
+"""
+
+from repro.util.errors import GmacError
+from repro.sim.tracing import Category
+from repro.os.process import Ptr
+from repro.core.costs import GmacCostModel
+from repro.core.layers import AcceleratorLayer
+from repro.core.manager import Manager
+from repro.core.protocols import PROTOCOLS
+from repro.core.interpose import GmacInterposer
+
+
+class SharedPtr(Ptr):
+    """A pointer into a shared region, usable by CPU code and kernels.
+
+    CPU-side reads/writes go through the protection-checked process path
+    (driving the coherence protocol); passing it to :meth:`Gmac.call`
+    hands the kernel the accelerator-side address.
+    """
+
+    __slots__ = ("gmac",)
+
+    def __init__(self, gmac, addr):
+        super().__init__(gmac.process, addr)
+        self.gmac = gmac
+
+    def __add__(self, offset):
+        return SharedPtr(self.gmac, self.addr + offset)
+
+    @property
+    def device_addr(self):
+        return self.gmac.manager.translate(self.addr)
+
+    @property
+    def region(self):
+        return self.gmac.manager.region_at(self.addr)
+
+
+class Gmac:
+    """One GMAC instance: a protocol, an abstraction layer, a manager.
+
+    ``protocol`` is one of ``"batch"``, ``"lazy"``, ``"rolling"`` —
+    selected at construction, as the paper selects at application load
+    time.  ``layer`` is ``"runtime"`` (pays CUDA initialisation; used when
+    comparing against CUDA) or ``"driver"`` (no init; used for
+    break-downs).  ``protocol_options`` forwards to the protocol, e.g.
+    ``{"block_size": 1 << 20, "rolling_size": 4}`` for rolling-update.
+    """
+
+    def __init__(
+        self,
+        machine,
+        process,
+        libc=None,
+        protocol="rolling",
+        layer="runtime",
+        protocol_options=None,
+        cost_model=None,
+        interpose=True,
+        gpu=None,
+        peer_dma=False,
+    ):
+        if protocol not in PROTOCOLS:
+            raise GmacError(
+                f"unknown protocol {protocol!r}; pick one of {sorted(PROTOCOLS)}"
+            )
+        self.machine = machine
+        self.process = process
+        self.accounting = machine.accounting
+        self.costs = cost_model or GmacCostModel()
+        self.layer = AcceleratorLayer(machine, process, gpu=gpu, flavour=layer)
+        self.manager = Manager(
+            machine, process, self.layer, cost_model=self.costs
+        )
+        self.protocol = PROTOCOLS[protocol](
+            self.manager, **(protocol_options or {})
+        )
+        self.manager.protocol = self.protocol
+        #: Hardware peer DMA (the paper's Section 7 suggestion): I/O moves
+        #: directly between the device and accelerator memory, skipping the
+        #: intermediate system-memory copy the software-only GMAC needs.
+        self.peer_dma = peer_dma
+        self.libc = libc
+        self.interposer = None
+        if interpose and libc is not None:
+            self.interposer = GmacInterposer(self)
+            self.interposer.install(libc)
+        self._pending = []
+        self.kernel_calls = 0
+
+    # -- Table 1 -------------------------------------------------------------------
+
+    def alloc(self, size, name=None):
+        """adsmAlloc: one pointer valid on both processors."""
+        region = self.manager.alloc(size, name=name, safe=False)
+        return SharedPtr(self, region.host_start)
+
+    def free(self, ptr):
+        """adsmFree."""
+        self.manager.free(int(ptr))
+
+    def call(self, kernel, writes=None, **args):
+        """adsmCall: release shared objects and launch ``kernel``.
+
+        Keyword arguments are passed to the kernel; :class:`SharedPtr`
+        values are translated to accelerator addresses.  Ordinary host
+        pointers are rejected — accelerators cannot reach host memory
+        (the ADSM asymmetry).  ``writes`` optionally lists the shared
+        pointers the kernel writes (the Section 4.3 annotation hook);
+        unlisted objects then stay valid on the host.
+        """
+        with self.accounting.measure(Category.LAUNCH, label=kernel.name):
+            self.machine.clock.advance(self.costs.api_call_s)
+            written = None
+            if writes is not None:
+                written = {self.manager.region_at(int(ptr)) for ptr in writes}
+                if None in written:
+                    raise GmacError("writes annotation names a non-shared pointer")
+            earliest = self.manager.release_for_call(written=written)
+            device_args = {}
+            for key, value in args.items():
+                if isinstance(value, SharedPtr):
+                    device_args[key] = value.device_addr
+                elif isinstance(value, Ptr):
+                    raise GmacError(
+                        f"kernel argument {key!r} is a host pointer; "
+                        "accelerators cannot access host memory"
+                    )
+                else:
+                    device_args[key] = value
+            completion = self.layer.launch(kernel, device_args, earliest=earliest)
+            self._pending.append(completion)
+            self.kernel_calls += 1
+        return completion
+
+    def sync(self):
+        """adsmSync: wait for the accelerator and re-acquire objects."""
+        with self.accounting.measure(Category.SYNC, label="adsmSync"):
+            self.machine.clock.advance(self.costs.api_call_s)
+            wait_start = self.machine.clock.now
+            for completion in self._pending:
+                completion.wait()
+            self._pending.clear()
+            waited = self.machine.clock.now - wait_start
+            if waited > 0:
+                self.accounting.charge(Category.GPU, waited, label="kernel-wait")
+            self.manager.acquire_after_return()
+
+    # -- Section 4.2 safe variants ------------------------------------------------------
+
+    def safe_alloc(self, size, name=None):
+        """adsmSafeAlloc: CPU-only pointer, safe under address collisions."""
+        region = self.manager.alloc(size, name=name, safe=True)
+        return SharedPtr(self, region.host_start)
+
+    def safe(self, ptr):
+        """adsmSafe: CPU pointer -> accelerator pointer."""
+        return self.manager.translate(int(ptr))
+
+    # -- bulk memory convenience (interposed when a libc is attached) ---------------------
+
+    def memset(self, ptr, value, size):
+        """memset over (possibly shared) memory, via the interposed libc."""
+        if self.libc is not None:
+            return self.libc.memset(int(ptr), value, size)
+        self.process.fill(int(ptr), value, size)
+        return int(ptr)
+
+    def memcpy(self, destination, source, size):
+        """memcpy over (possibly shared) memory, via the interposed libc."""
+        if self.libc is not None:
+            return self.libc.memcpy(int(destination), int(source), size)
+        self.process.write(int(destination), self.process.read(int(source), size))
+        return int(destination)
+
+    # -- paper-style aliases --------------------------------------------------------------
+
+    adsmAlloc = alloc
+    adsmFree = free
+    adsmCall = call
+    adsmSync = sync
+    adsmSafeAlloc = safe_alloc
+    adsmSafe = safe
+
+    # -- statistics --------------------------------------------------------------------------
+
+    @property
+    def bytes_to_accelerator(self):
+        return self.manager.bytes_to_accelerator
+
+    @property
+    def bytes_to_host(self):
+        return self.manager.bytes_to_host
+
+    @property
+    def fault_count(self):
+        return self.manager.fault_count
+
+    def shutdown(self):
+        """Free all regions and uninstall interposition (teardown helper)."""
+        if self._pending:
+            self.sync()
+        self.manager.free_all()
+        if self.interposer is not None:
+            self.interposer.uninstall()
+            self.interposer = None

@@ -1,0 +1,59 @@
+"""Memory blocks and their coherence states.
+
+Figure 6 of the paper defines three states for a shared memory range, all
+maintained by the CPU (the asymmetry: accelerators perform no coherence
+actions):
+
+* **INVALID** -- the up-to-date copy lives only in accelerator memory; any
+  CPU access must transfer it back first,
+* **DIRTY** -- the CPU holds an updated copy that must be flushed to the
+  accelerator before the next kernel call,
+* **READ_ONLY** -- both copies match; no transfer is needed either way.
+
+Batch- and lazy-update track whole objects (one block per region);
+rolling-update divides objects into fixed-size blocks.
+"""
+
+import enum
+
+
+class BlockState(enum.Enum):
+    INVALID = "invalid"
+    DIRTY = "dirty"
+    READ_ONLY = "read-only"
+
+    def __str__(self):
+        return self.value
+
+
+class Block:
+    """One coherence unit of a shared region."""
+
+    __slots__ = ("region", "index", "interval", "state")
+
+    def __init__(self, region, index, interval, state=BlockState.READ_ONLY):
+        self.region = region
+        self.index = index
+        self.interval = interval
+        self.state = state
+
+    @property
+    def host_start(self):
+        return self.interval.start
+
+    @property
+    def size(self):
+        return self.interval.size
+
+    @property
+    def device_start(self):
+        """Where this block's bytes live in accelerator memory."""
+        return self.region.device_start + (
+            self.interval.start - self.region.host_start
+        )
+
+    def __repr__(self):
+        return (
+            f"Block(#{self.index} {self.interval} {self.state} "
+            f"of {self.region.name})"
+        )

@@ -1,0 +1,39 @@
+"""GMAC's CPU-side cost model.
+
+Section 5.2 identifies the dominant software overheads: the page-fault
+signal path and the O(log2 n) balanced-tree search that locates the
+faulting block ("the overhead due to the search time becomes the dominant
+overhead" for small blocks).  These constants convert bookkeeping work into
+virtual time; they are sized so that signal handling stays below 2% of
+execution time for the Parboil workloads (Figure 10) while dominating the
+4KB-block end of the Figure 11 micro-benchmark — the same balance the
+paper measured.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GmacCostModel:
+    """Per-operation CPU costs of the GMAC library."""
+
+    #: Fixed user-level cost of entering/leaving the fault handler, on top
+    #: of the kernel's delivery overhead.
+    signal_base_s: float = 0.3e-6
+
+    #: Cost per balanced-tree comparison while locating the faulting block.
+    signal_per_step_s: float = 0.04e-6
+
+    #: Cost of an anonymous mmap/munmap call.
+    mmap_s: float = 3.0e-6
+
+    #: Cost of one mprotect call (GMAC batches protection changes per
+    #: contiguous range, never per page).
+    mprotect_s: float = 0.4e-6
+
+    #: Bookkeeping cost of creating one block descriptor at adsmAlloc time
+    #: (list node + tree insertion).
+    block_setup_s: float = 0.15e-6
+
+    #: Fixed cost of any GMAC API entry point.
+    api_call_s: float = 0.5e-6

@@ -1,0 +1,291 @@
+"""The shared memory manager (Figure 5's central box).
+
+The manager owns every shared region, indexes their blocks in a balanced
+binary tree (Section 5.2: "GMAC keeps memory blocks in a balanced binary
+tree, which requires O(log2(n)) operations to locate a given block"),
+builds the shared address space (Section 4.2), dispatches page-fault
+signals to the active coherence protocol, and performs every data transfer
+— all on the CPU, never on the accelerator: the asymmetry that gives ADSM
+its name.
+"""
+
+from repro.util.errors import AllocationError, GmacError
+from repro.util.intervals import RangeMap
+from repro.util.avltree import AvlTree
+from repro.sim.tracing import Category
+from repro.os.paging import Prot
+from repro.core.region import SharedRegion
+from repro.core.costs import GmacCostModel
+
+
+class Manager:
+    """Bookkeeping, fault dispatch and data movement for shared regions."""
+
+    def __init__(self, machine, process, layer, cost_model=None):
+        self.machine = machine
+        self.process = process
+        self.layer = layer
+        self.costs = cost_model or GmacCostModel()
+        self.accounting = machine.accounting
+        self.clock = machine.clock
+        self.protocol = None  # installed by Gmac after construction
+        self._regions = RangeMap()
+        self._block_index = AvlTree()
+        self._allocation_counter = 0
+        # Figure 8's byte counters, split by direction and by cause.
+        self.bytes_to_accelerator = 0
+        self.bytes_to_host = 0
+        self.eager_bytes_to_accelerator = 0
+        self.fault_count = 0
+        self.process.signals.register(self._on_segv)
+
+    # -- shared address space (Section 4.2) -------------------------------------
+
+    def alloc(self, size, name=None, safe=False):
+        """Allocate a shared region; the core of adsmAlloc/adsmSafeAlloc.
+
+        The normal path allocates accelerator memory first and then asks
+        the OS for an anonymous mapping at the *same* virtual range, so a
+        single pointer serves both processors.  When that mapping collides
+        (multi-accelerator systems) the normal path raises; the ``safe``
+        path instead places the host mapping anywhere and records the
+        translation for ``adsmSafe()``.
+        """
+        if size <= 0:
+            raise GmacError(f"adsmAlloc size must be positive, got {size}")
+        if name is None:
+            name = f"region{self._allocation_counter}"
+        self._allocation_counter += 1
+        with self.accounting.measure(Category.MALLOC, label=name):
+            self.clock.advance(self.costs.api_call_s)
+            if safe:
+                device_start = self.layer.alloc(size)
+                self.clock.advance(self.costs.mmap_s)
+                mapping = self.process.address_space.mmap(size, Prot.RW)
+                host_start = mapping.start
+            elif self.layer.gpu.spec.virtual_memory:
+                # Section 4.2's collision-free path: with accelerator
+                # virtual memory, negotiate one virtual range free on BOTH
+                # processors and map it on each side.
+                device_start = self._alloc_common_range(name, size)
+                self.clock.advance(self.costs.mmap_s)
+                self.process.address_space.mmap(
+                    size, Prot.RW, fixed_address=device_start
+                )
+                host_start = device_start
+            else:
+                device_start = self.layer.alloc(size)
+                self.clock.advance(self.costs.mmap_s)
+                try:
+                    self.process.address_space.mmap(
+                        size, Prot.RW, fixed_address=device_start
+                    )
+                except AllocationError as exc:
+                    self.layer.free(device_start)
+                    raise GmacError(
+                        f"shared mapping collision for {name}: {exc}; "
+                        "use adsmSafeAlloc on this system"
+                    ) from exc
+                host_start = device_start
+            region = SharedRegion(
+                name,
+                host_start,
+                device_start,
+                size,
+                self.protocol.block_size_for(size),
+            )
+            self._regions.add(region.interval, region)
+            for block in region.blocks:
+                self._block_index.insert(block.host_start, block)
+            self.clock.advance(self.costs.block_setup_s * len(region.blocks))
+            self.protocol.on_alloc(region)
+        return region
+
+    def _alloc_common_range(self, name, size):
+        """Find and claim a virtual range free on the host AND the device.
+
+        Walks the accelerator's free holes; inside each, skips past any
+        conflicting host mappings page by mapping until a window of
+        ``size`` bytes is free on both sides, then performs the placement
+        allocation.  With 47-bit address spaces this effectively always
+        succeeds — the point of accelerator virtual memory.
+        """
+        from repro.os.paging import page_ceil
+
+        space = self.process.address_space
+        padded = page_ceil(size)
+        for hole in self.layer.gpu.memory.free_holes():
+            candidate = page_ceil(hole.start)
+            while candidate + padded <= hole.end:
+                conflict = space.conflict_at(candidate, padded)
+                if conflict is None:
+                    return self.layer.alloc_at(candidate, padded)
+                candidate = page_ceil(conflict.end)
+        raise GmacError(
+            f"no common free virtual range of {size} bytes for {name}"
+        )
+
+    def free(self, host_start):
+        """Release a shared region; the core of adsmFree."""
+        found = self._regions.find_exact(host_start)
+        if found is None:
+            raise GmacError(f"adsmFree of unknown pointer {host_start:#x}")
+        region = found[1]
+        with self.accounting.measure(Category.FREE, label=region.name):
+            self.clock.advance(self.costs.api_call_s)
+            self.protocol.on_free(region)
+            for block in region.blocks:
+                self._block_index.delete(block.host_start)
+            self._regions.remove(host_start)
+            self.clock.advance(self.costs.mmap_s)
+            self.process.address_space.munmap(region.host_start)
+            self.layer.free(region.device_start)
+        return region
+
+    def free_all(self):
+        """Release every region (used at application teardown)."""
+        for start in [region.host_start for region in self.regions()]:
+            self.free(start)
+
+    # -- lookups ------------------------------------------------------------------
+
+    def regions(self):
+        return list(self._regions.values())
+
+    def region_at(self, host_address):
+        found = self._regions.find(host_address)
+        return found[1] if found else None
+
+    def region_starting_at(self, host_start):
+        found = self._regions.find_exact(host_start)
+        return found[1] if found else None
+
+    def translate(self, host_address):
+        """Host pointer -> device pointer; the core of adsmSafe()."""
+        region = self.region_at(host_address)
+        if region is None:
+            raise GmacError(f"{host_address:#x} is not a shared address")
+        return region.device_address_of(host_address)
+
+    def shared_overlaps(self, interval):
+        """(interval, region) pairs of shared memory overlapping a range."""
+        return self._regions.overlapping(interval)
+
+    @property
+    def block_count(self):
+        return len(self._block_index)
+
+    # -- protection and state ---------------------------------------------------------
+
+    def set_prot(self, interval, prot):
+        """One mprotect call over a contiguous range (charged once)."""
+        self.clock.advance(self.costs.mprotect_s)
+        self.process.address_space.mprotect(interval.start, interval.size, prot)
+
+    def set_block(self, block, state, prot):
+        block.state = state
+        self.set_prot(block.interval, prot)
+
+    def set_region_blocks(self, region, state, prot):
+        """Bulk state+protection change for a whole region (one mprotect)."""
+        region.set_all_states(state)
+        self.set_prot(region.interval, prot)
+
+    # -- data movement ------------------------------------------------------------------
+
+    def flush_to_device(self, block, sync=True):
+        """Copy a block's host bytes to accelerator memory.
+
+        Synchronous flushes (lazy-update on adsmCall, batch-update) charge
+        Copy; asynchronous ones (rolling-update's eager eviction) cost the
+        CPU only the issue overhead and overlap with whatever it does next.
+        """
+        self.bytes_to_accelerator += block.size
+        if sync:
+            with self.accounting.measure(Category.COPY, label=f"flush:{block.region.name}"):
+                return self.layer.to_device(
+                    block.device_start, block.host_start, block.size, sync=True
+                )
+        self.eager_bytes_to_accelerator += block.size
+        with self.accounting.measure(Category.COPY, label=f"eager:{block.region.name}"):
+            # Only the issue cost lands on the CPU; the DMA itself overlaps.
+            return self.layer.to_device(
+                block.device_start, block.host_start, block.size, sync=False
+            )
+
+    def fetch_to_host(self, block):
+        """Copy a block's accelerator bytes back to the host (synchronous)."""
+        self.bytes_to_host += block.size
+        with self.accounting.measure(Category.COPY, label=f"fetch:{block.region.name}"):
+            return self.layer.to_host(
+                block.host_start, block.device_start, block.size, sync=True
+            )
+
+    def ensure_device_canonical(self, region, interval):
+        """Make the accelerator copy of ``interval`` valid.
+
+        Dirty blocks are flushed (and demoted to read-only); read-only
+        blocks already match; invalid blocks are device-canonical by
+        definition.  Used by bulk-operation interposition before
+        device-side copies.
+        """
+        from repro.core.blocks import BlockState
+
+        for block in region.blocks_overlapping(interval):
+            if block.state is BlockState.DIRTY:
+                self.flush_to_device(block, sync=True)
+                self.protocol.demote_clean(block)
+
+    def ensure_host_canonical(self, region, interval):
+        """Make the host copy of ``interval`` valid (fetch invalid blocks)."""
+        from repro.core.blocks import BlockState
+        from repro.os.paging import Prot
+
+        for block in region.blocks_overlapping(interval):
+            if block.state is BlockState.INVALID:
+                self.fetch_to_host(block)
+                self.set_block(block, BlockState.READ_ONLY, Prot.READ)
+
+    # -- fault dispatch -----------------------------------------------------------------
+
+    def _on_segv(self, info):
+        """The SIGSEGV handler GMAC registers (Section 4.3).
+
+        Locates the faulting block via the balanced tree, charging the
+        paper's O(log n) search cost, then lets the protocol apply the
+        Figure 6 state transition.  Returns False for addresses outside
+        any shared region so unrelated faults still crash the application.
+        """
+        with self.accounting.measure(Category.SIGNAL, label="segv"):
+            before = self._block_index.search_steps
+            found = self._block_index.floor(info.address)
+            steps = self._block_index.search_steps - before
+            self.clock.advance(
+                self.costs.signal_base_s + steps * self.costs.signal_per_step_s
+            )
+            if found is None:
+                return False
+            block = found[1]
+            if not block.interval.contains(info.address):
+                return False
+            self.fault_count += 1
+            self.protocol.on_fault(block, info.access)
+            return True
+
+    # -- call/return boundaries (the consistency model, Section 3.3) ---------------------
+
+    def release_for_call(self, written=None):
+        """Release shared objects to the accelerator; returns the earliest
+        time a kernel may start (after all pending flushes)."""
+        self.protocol.pre_call(self.regions(), written=written)
+        return self.layer.pending_h2d()
+
+    def acquire_after_return(self):
+        """Re-acquire shared objects for the CPU after kernel return."""
+        self.protocol.post_sync(self.regions())
+
+    def reset_counters(self):
+        self.bytes_to_accelerator = 0
+        self.bytes_to_host = 0
+        self.eager_bytes_to_accelerator = 0
+        self.fault_count = 0

@@ -1,0 +1,27 @@
+"""The Figure 6 coherence protocols.
+
+All three protocols run entirely on the CPU; the accelerator performs no
+coherence actions (the ADSM asymmetry).  Each refines the previous one:
+
+* :class:`~repro.core.protocols.batch.BatchUpdate` — transfer everything at
+  every call/return boundary (what novice programmers hand-write),
+* :class:`~repro.core.protocols.lazy.LazyUpdate` — fault-driven tracking at
+  whole-object granularity,
+* :class:`~repro.core.protocols.rolling.RollingUpdate` — fault-driven
+  tracking at block granularity with a bounded dirty-block cache and eager
+  asynchronous eviction.
+"""
+
+from repro.core.protocols.base import Protocol
+from repro.core.protocols.batch import BatchUpdate
+from repro.core.protocols.lazy import LazyUpdate
+from repro.core.protocols.rolling import RollingUpdate
+
+#: Name -> class registry, the load-time protocol selection of Section 4.3.
+PROTOCOLS = {
+    BatchUpdate.name: BatchUpdate,
+    LazyUpdate.name: LazyUpdate,
+    RollingUpdate.name: RollingUpdate,
+}
+
+__all__ = ["Protocol", "BatchUpdate", "LazyUpdate", "RollingUpdate", "PROTOCOLS"]

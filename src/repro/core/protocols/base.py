@@ -1,0 +1,78 @@
+"""The coherence-protocol interface.
+
+GMAC's layered architecture "allows multiple memory coherence protocols to
+coexist and enables programmers to select the most appropriate protocol at
+application load time" (Section 4.3).  A protocol owns the per-block state
+machine; the manager owns the data structures and the transfers.  Protocols
+are defined from the CPU's perspective only.
+"""
+
+import abc
+
+
+class Protocol(abc.ABC):
+    """State-machine policy for one :class:`~repro.core.manager.Manager`."""
+
+    #: Load-time selection key (see PROTOCOLS in the package __init__).
+    name = "abstract"
+
+    def __init__(self, manager):
+        self.manager = manager
+
+    @abc.abstractmethod
+    def block_size_for(self, region_size):
+        """The coherence granularity for a new region of ``region_size``."""
+
+    @abc.abstractmethod
+    def on_alloc(self, region):
+        """Initialise block states and protections for a fresh region."""
+
+    def on_free(self, region):
+        """Forget any protocol-private state about ``region``."""
+
+    @abc.abstractmethod
+    def on_fault(self, block, access):
+        """Apply the Figure 6 transition for a CPU access fault."""
+
+    @abc.abstractmethod
+    def pre_call(self, regions, written=None):
+        """Release shared objects before a kernel call (adsmCall).
+
+        ``written``, when given, is the set of regions the kernel is
+        annotated to write (Section 4.3's pointer-analysis hook); regions
+        outside it may stay host-valid.  ``None`` means no annotation: all
+        regions must be treated as potentially written.
+        """
+
+    @abc.abstractmethod
+    def post_sync(self, regions):
+        """Re-acquire shared objects after kernel return (adsmSync)."""
+
+    #: Whether bulk memory operations on shared data may be routed to
+    #: device-side calls (cudaMemset/cudaMemcpy).  Requires fault-driven
+    #: refetching, so batch-update opts out.
+    supports_device_bulk = True
+
+    def demote_clean(self, block):
+        """A dirty block was flushed outside the call boundary: both copies
+        now match, so it becomes read-only."""
+        from repro.core.blocks import BlockState
+        from repro.os.paging import Prot
+
+        self.manager.set_block(block, BlockState.READ_ONLY, Prot.READ)
+
+    def discard_block(self, block):
+        """Drop the host copy of one block: the device copy just became
+        canonical (after a device-side memset/memcpy)."""
+        from repro.core.blocks import BlockState
+        from repro.os.paging import Prot
+
+        self.manager.set_block(block, BlockState.INVALID, Prot.NONE)
+
+    def invalidate_region(self, region):
+        """Discard the host copy of a region (used by bulk-op interposition
+        after device-side memset/memcpy made the accelerator canonical)."""
+        from repro.core.blocks import BlockState
+        from repro.os.paging import Prot
+
+        self.manager.set_region_blocks(region, BlockState.INVALID, Prot.NONE)

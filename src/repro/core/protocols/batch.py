@@ -1,0 +1,60 @@
+"""Batch-update: the pure write-invalidate baseline.
+
+Figure 6(a).  "On a kernel invocation (adsmCall()) the CPU invalidates all
+shared objects, whether or not they are accessed by the accelerator.  On
+method return (adsmSync()), all shared objects are transferred from
+accelerator memory to system memory and marked as dirty."  No fault
+detection is used at all — pages stay read/write and every object crosses
+the bus twice per kernel call.  This mimics what programmers tend to
+hand-write first, and is the protocol behind the 65.18x (pns) and 18.61x
+(rpes) slow-downs in Figure 7.
+"""
+
+from repro.os.paging import Prot
+from repro.core.blocks import BlockState
+from repro.core.protocols.base import Protocol
+
+
+class BatchUpdate(Protocol):
+    name = "batch"
+
+    # Without fault detection a discarded host copy could never be
+    # refetched on demand, so bulk ops must stay on the host path.
+    supports_device_bulk = False
+
+    def block_size_for(self, region_size):
+        # Whole-object granularity: one block per region.
+        return max(region_size, 1)
+
+    def on_alloc(self, region):
+        # The CPU owns fresh objects; no access detection is installed.
+        self.manager.set_region_blocks(region, BlockState.DIRTY, Prot.RW)
+
+    def on_fault(self, block, access):
+        raise AssertionError(
+            "batch-update installs no protections; a fault here is a bug"
+        )
+
+    def pre_call(self, regions, written=None):
+        # Everything to the accelerator, needed or not; batch-update is the
+        # naive baseline, so the annotation is deliberately ignored.  The
+        # only exception is a host copy already invalidated by an earlier
+        # back-to-back call: there is nothing newer to transfer.
+        for region in regions:
+            for block in region.blocks:
+                if block.state is not BlockState.INVALID:
+                    self.manager.flush_to_device(block, sync=True)
+                    block.state = BlockState.INVALID
+
+    def post_sync(self, regions):
+        # Everything back, implicitly invalidating the accelerator copy.
+        for region in regions:
+            for block in region.blocks:
+                self.manager.fetch_to_host(block)
+                block.state = BlockState.DIRTY
+
+    def invalidate_region(self, region):
+        # Without fault detection the host copy must be refreshed eagerly.
+        for block in region.blocks:
+            self.manager.fetch_to_host(block)
+            block.state = BlockState.DIRTY

@@ -1,0 +1,65 @@
+"""Lazy-update: fault-driven coherence at whole-object granularity.
+
+Figure 6(b), without the rolling refinement.  Protection hardware detects
+CPU writes to read-only objects and any access to invalid objects; on a
+kernel call only *dirty* objects travel to the accelerator, and after
+return objects come back *on demand*, when (and only when) the CPU touches
+them.  The two benefits named in Section 4.3: only CPU-modified data moves
+host-to-accelerator, and only CPU-read data moves back.
+"""
+
+from repro.os.paging import Prot, AccessKind
+from repro.core.blocks import BlockState
+from repro.core.protocols.base import Protocol
+
+
+class LazyUpdate(Protocol):
+    name = "lazy"
+
+    def block_size_for(self, region_size):
+        # Whole-object granularity: one block per region.
+        return max(region_size, 1)
+
+    def on_alloc(self, region):
+        # "Shared data structures are initialized to a read-only state when
+        # they are allocated, so read accesses do not trigger a page fault."
+        self.manager.set_region_blocks(region, BlockState.READ_ONLY, Prot.READ)
+
+    def on_fault(self, block, access):
+        manager = self.manager
+        if block.state is BlockState.READ_ONLY:
+            if access is not AccessKind.WRITE:
+                raise AssertionError(
+                    f"read fault on readable block {block!r}"
+                )
+            manager.set_block(block, BlockState.DIRTY, Prot.RW)
+        elif block.state is BlockState.INVALID:
+            # Transfer the whole object back before the access proceeds.
+            manager.fetch_to_host(block)
+            if access is AccessKind.WRITE:
+                manager.set_block(block, BlockState.DIRTY, Prot.RW)
+            else:
+                manager.set_block(block, BlockState.READ_ONLY, Prot.READ)
+        else:
+            raise AssertionError(f"fault on dirty (RW) block {block!r}")
+
+    def pre_call(self, regions, written=None):
+        # Dirty objects travel; then everything is invalidated and fenced.
+        for region in regions:
+            for block in region.blocks:
+                if block.state is BlockState.DIRTY:
+                    self.manager.flush_to_device(block, sync=True)
+            if written is not None and region not in written:
+                # Annotated as read-only for the kernel: both copies now
+                # match, so the host copy stays valid (no read-back later).
+                self.manager.set_region_blocks(
+                    region, BlockState.READ_ONLY, Prot.READ
+                )
+            else:
+                self.manager.set_region_blocks(
+                    region, BlockState.INVALID, Prot.NONE
+                )
+
+    def post_sync(self, regions):
+        # Nothing moves at return time; objects fault back on first use.
+        pass

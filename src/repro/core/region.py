@@ -1,0 +1,85 @@
+"""Shared regions: one ``adsmAlloc`` allocation each.
+
+A region records the host virtual range, the device range backing it, and
+the list of blocks it is divided into.  In the common case the host and
+device start addresses are *equal* — the Section 4.2 trick of mmap-ing
+system memory at the exact range ``cudaMalloc`` returned, so one pointer
+works on both processors.  Regions created by ``adsmSafeAlloc`` (the
+multi-accelerator fallback) carry different addresses, and ``adsmSafe()``
+performs the translation.
+"""
+
+from repro.util.intervals import Interval
+from repro.os.paging import page_ceil
+from repro.core.blocks import Block
+
+
+class SharedRegion:
+    """One shared data object and its coherence blocks."""
+
+    def __init__(self, name, host_start, device_start, size, block_size):
+        if block_size <= 0:
+            raise ValueError(f"block size must be positive, got {block_size}")
+        self.name = name
+        self.host_start = host_start
+        self.device_start = device_start
+        self.size = size
+        #: Blocks cover the whole *mapped* (page-rounded) range so that
+        #: protection changes are always page aligned; block sizes are
+        #: rounded up to pages for the same reason (a "whole object" block
+        #: for a 4-byte region is still one page).
+        self.mapped_size = page_ceil(size)
+        self.block_size = min(page_ceil(block_size), self.mapped_size)
+        self.interval = Interval.sized(host_start, self.mapped_size)
+        self.blocks = self._build_blocks()
+
+    def _build_blocks(self):
+        blocks = []
+        for index, chunk in enumerate(self.interval.split_chunks(self.block_size)):
+            blocks.append(Block(self, index, chunk))
+        return blocks
+
+    @property
+    def is_aliased(self):
+        """True when host and device use the same numeric addresses."""
+        return self.host_start == self.device_start
+
+    def device_address_of(self, host_address):
+        """Translate a host address inside this region to its device twin."""
+        if not self.interval.contains(host_address) and host_address != self.interval.end:
+            raise ValueError(
+                f"address {host_address:#x} not inside region {self.name}"
+            )
+        return self.device_start + (host_address - self.host_start)
+
+    def block_containing(self, host_address):
+        """The block holding ``host_address`` (regions are contiguous)."""
+        index = (host_address - self.host_start) // self.block_size
+        if index < 0 or index >= len(self.blocks):
+            raise ValueError(
+                f"address {host_address:#x} not inside region {self.name}"
+            )
+        return self.blocks[index]
+
+    def blocks_overlapping(self, interval):
+        """All blocks intersecting ``interval`` (host addressing)."""
+        span = self.interval.intersection(interval)
+        if not span:
+            return []
+        first = (span.start - self.host_start) // self.block_size
+        last = (span.end - 1 - self.host_start) // self.block_size
+        return self.blocks[first:last + 1]
+
+    def blocks_in_state(self, state):
+        return [block for block in self.blocks if block.state is state]
+
+    def set_all_states(self, state):
+        for block in self.blocks:
+            block.state = state
+
+    def __repr__(self):
+        return (
+            f"SharedRegion({self.name!r}, host={self.host_start:#x}, "
+            f"device={self.device_start:#x}, size={self.size}, "
+            f"blocks={len(self.blocks)})"
+        )

@@ -1,0 +1,147 @@
+"""The kernel scheduler (the remaining Figure 5 box).
+
+"The kernel scheduler selects the most appropriate accelerator for
+execution of a given kernel, and implements different scheduling policies
+depending on the execution environment" (Section 4.1; the paper defers the
+analysis to Jimenez et al. [29], *Predictive runtime code scheduling for
+heterogeneous architectures*).
+
+This module implements that component for multi-accelerator machines:
+a :class:`KernelScheduler` owns one driver context per GPU and routes each
+launch through a pluggable policy —
+
+* :class:`RoundRobin` — cycle through accelerators,
+* :class:`LeastLoaded` — the accelerator whose execution engine frees up
+  first,
+* :class:`DataAffinity` — the accelerator already hosting the kernel's
+  device-pointer arguments (transfers dominate kernel launches on PCIe
+  systems, so following the data is usually right),
+* :class:`Predictive` — minimise predicted completion time using each
+  accelerator's cost model and current queue (the [29] approach).
+"""
+
+import abc
+import itertools
+
+from repro.util.errors import CudaError
+from repro.cuda.driver import DriverContext
+
+
+class SchedulingPolicy(abc.ABC):
+    """Chooses an accelerator index for one kernel launch."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def select(self, scheduler, kernel, args):
+        """Return the index of the GPU that should run this launch."""
+
+
+class RoundRobin(SchedulingPolicy):
+    name = "round-robin"
+
+    def __init__(self):
+        self._counter = itertools.count()
+
+    def select(self, scheduler, kernel, args):
+        return next(self._counter) % len(scheduler.gpus)
+
+
+class LeastLoaded(SchedulingPolicy):
+    name = "least-loaded"
+
+    def select(self, scheduler, kernel, args):
+        availabilities = [gpu.engine.available_at for gpu in scheduler.gpus]
+        return availabilities.index(min(availabilities))
+
+
+class DataAffinity(SchedulingPolicy):
+    """Run where the data lives; fall back to least-loaded."""
+
+    name = "data-affinity"
+
+    def __init__(self):
+        self._fallback = LeastLoaded()
+
+    def select(self, scheduler, kernel, args):
+        for value in args.values():
+            if not isinstance(value, int):
+                continue
+            for index, gpu in enumerate(scheduler.gpus):
+                if gpu.memory.allocation_at(value) is not None:
+                    return index
+        return self._fallback.select(scheduler, kernel, args)
+
+
+class Predictive(SchedulingPolicy):
+    """Minimise predicted completion: queue wait + modelled kernel time."""
+
+    name = "predictive"
+
+    def select(self, scheduler, kernel, args):
+        now = scheduler.machine.clock.now
+        best_index = 0
+        best_finish = None
+        for index, gpu in enumerate(scheduler.gpus):
+            start = max(now, gpu.engine.available_at)
+            finish = start + kernel.duration_on(gpu, args)
+            if best_finish is None or finish < best_finish:
+                best_finish = finish
+                best_index = index
+        return best_index
+
+
+#: Load-time policy selection, like the coherence-protocol registry.
+POLICIES = {
+    policy.name: policy
+    for policy in (RoundRobin, LeastLoaded, DataAffinity, Predictive)
+}
+
+
+class KernelScheduler:
+    """Routes kernel launches across a machine's accelerators."""
+
+    def __init__(self, machine, process, policy="least-loaded"):
+        if isinstance(policy, str):
+            if policy not in POLICIES:
+                raise CudaError(
+                    f"unknown scheduling policy {policy!r}; "
+                    f"known: {sorted(POLICIES)}"
+                )
+            policy = POLICIES[policy]()
+        self.machine = machine
+        self.policy = policy
+        self.contexts = [
+            DriverContext(machine, process, gpu=gpu) for gpu in machine.gpus
+        ]
+        self.launch_counts = [0] * len(machine.gpus)
+
+    @property
+    def gpus(self):
+        return self.machine.gpus
+
+    def context_for(self, index):
+        return self.contexts[index]
+
+    def launch(self, kernel, args, earliest=None):
+        """Schedule one kernel on the policy-selected accelerator.
+
+        Returns ``(gpu_index, completion)`` so callers can keep affinity
+        for follow-up work.
+        """
+        index = self.policy.select(self, kernel, args)
+        if not 0 <= index < len(self.gpus):
+            raise CudaError(
+                f"policy {self.policy.name!r} selected bad GPU index {index}"
+            )
+        self.launch_counts[index] += 1
+        completion = self.contexts[index].launch(
+            kernel, args, earliest=earliest
+        )
+        return index, completion
+
+    def synchronize(self):
+        """Wait for every accelerator's queue to drain."""
+        for gpu in self.gpus:
+            gpu.synchronize()
+        return self.machine.clock.now

@@ -1,0 +1,21 @@
+"""A CUDA-like accelerator interface over the simulated hardware.
+
+GMAC (Figure 5) sits on an *Accelerator Abstraction Layer* with two
+flavours: one over the CUDA **runtime** API (used to compare against CUDA,
+pays context-initialisation cost) and one over the CUDA **driver** API
+(full control, no init cost; used for execution-time break-downs).  This
+package provides both:
+
+* :mod:`repro.cuda.kernels` -- kernel objects: a numpy function over device
+  memory plus a cost model,
+* :mod:`repro.cuda.driver` -- the low-level API: contexts, device memory,
+  synchronous/asynchronous copies, streams, kernel launch,
+* :mod:`repro.cuda.runtime` -- the cudaMalloc/cudaMemcpy/cudaLaunch-style
+  API with lazy initialisation, charging the Figure 10 cuda* categories.
+"""
+
+from repro.cuda.kernels import Kernel
+from repro.cuda.driver import DriverContext, Stream
+from repro.cuda.runtime import CudaRuntime
+
+__all__ = ["Kernel", "DriverContext", "Stream", "CudaRuntime"]

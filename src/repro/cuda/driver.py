@@ -1,0 +1,208 @@
+"""The low-level (driver) accelerator API.
+
+Mirrors the CUDA driver API surface GMAC's *CUDA Driver Layer* uses:
+device-memory allocation, synchronous and asynchronous copies in both
+directions, 8-bit memset, stream-ordered kernel launches, and context
+synchronization.  Data moves eagerly (byte-accurate snapshots at issue
+time); timing occupies the link and GPU resources, so asynchronous copies
+genuinely overlap CPU work on the virtual clock.
+
+Host-side buffers are accessed with privileged ``peek``/``poke`` — DMA
+engines ignore page protections, which is exactly why GMAC can keep shared
+pages protected while transferring them.
+"""
+
+from repro.util.errors import CudaError
+from repro.hw.interconnect import Direction
+
+
+class Event:
+    """A CUDA-style timing event.
+
+    Recording an event into a stream captures the virtual time at which
+    the stream's work issued so far will have completed; applications use
+    pairs of events to time GPU-side phases without blocking the CPU
+    (the standard cudaEventRecord / cudaEventElapsedTime pattern).
+    """
+
+    def __init__(self, name="event"):
+        self.name = name
+        self.timestamp = None
+
+    @property
+    def recorded(self):
+        return self.timestamp is not None
+
+    def record(self, clock, stream=None):
+        """Capture the completion time of work issued so far."""
+        if stream is not None and stream.earliest_next is not None:
+            self.timestamp = stream.earliest_next
+        else:
+            self.timestamp = clock.now
+        return self.timestamp
+
+    def synchronize(self, clock):
+        """Block the CPU until the event's captured point in time."""
+        if not self.recorded:
+            raise CudaError(f"event {self.name!r} was never recorded")
+        clock.advance_to(self.timestamp)
+        return clock.now
+
+    def elapsed_since(self, earlier):
+        """Milliseconds between two recorded events (cudaEventElapsedTime)."""
+        if not self.recorded or not earlier.recorded:
+            raise CudaError("both events must be recorded")
+        return (self.timestamp - earlier.timestamp) * 1e3
+
+
+class Stream:
+    """An in-order work queue: each operation starts after the previous."""
+
+    def __init__(self, name="stream"):
+        self.name = name
+        self.last = None  # most recent Completion in this stream
+
+    def chain(self, completion):
+        self.last = completion
+        return completion
+
+    @property
+    def earliest_next(self):
+        return self.last.finish if self.last is not None else None
+
+    def synchronize(self, clock):
+        if self.last is not None:
+            clock.advance_to(self.last.finish)
+        return clock.now
+
+
+class DriverContext:
+    """One context on one GPU of one machine."""
+
+    #: CPU-side cost of trapping into the driver for any call.
+    CALL_OVERHEAD_S = 4.0e-6
+
+    def __init__(self, machine, process, gpu=None):
+        self.machine = machine
+        self.process = process
+        self.gpu = gpu if gpu is not None else machine.gpu
+        self.link = machine.link
+        self.clock = machine.clock
+        self.default_stream = Stream("default")
+        self.allocations = {}
+
+    def _driver_call(self):
+        self.clock.advance(self.CALL_OVERHEAD_S)
+
+    # -- memory management --------------------------------------------------------
+
+    def mem_alloc(self, size):
+        """cuMemAlloc: returns a device address."""
+        self._driver_call()
+        address = self.gpu.memory.alloc(size)
+        self.allocations[address] = size
+        return address
+
+    def mem_alloc_at(self, address, size):
+        """cuMemAlloc at a chosen virtual address (VM accelerators only)."""
+        self._driver_call()
+        if not self.gpu.spec.virtual_memory:
+            raise CudaError(
+                f"{self.gpu.spec.name} has no virtual memory; "
+                "placement allocation is unsupported"
+            )
+        result = self.gpu.memory.alloc_at(address, size)
+        self.allocations[result] = size
+        return result
+
+    def mem_free(self, address):
+        """cuMemFree."""
+        self._driver_call()
+        if address not in self.allocations:
+            raise CudaError(f"cuMemFree of unknown device address {address:#x}")
+        del self.allocations[address]
+        self.gpu.memory.free(address)
+
+    # -- data transfer --------------------------------------------------------------
+
+    def memcpy_h2d(self, device, host, size, stream=None, sync=True):
+        """Copy host -> device.  Returns the transfer Completion."""
+        self._driver_call()
+        # Direct view-to-view copy: one memmove, like a real DMA engine
+        # (which also ignores page protections on the host side).
+        source = self.process.address_space.view(host, "u1", size)
+        self.gpu.memory.view(device, "u1", size)[:] = source
+        completion = self._schedule_transfer(size, Direction.H2D, stream)
+        if sync:
+            completion.wait()
+        return completion
+
+    def memcpy_d2h(self, host, device, size, stream=None, sync=True):
+        """Copy device -> host.  Returns the transfer Completion."""
+        self._driver_call()
+        source = self.gpu.memory.view(device, "u1", size)
+        self.process.address_space.view(host, "u1", size)[:] = source
+        completion = self._schedule_transfer(size, Direction.D2H, stream)
+        if sync:
+            completion.wait()
+        return completion
+
+    def memcpy_d2d(self, destination, source, size):
+        """Copy device -> device over the GPU's own memory (fast path)."""
+        self._driver_call()
+        data = self.gpu.memory.read(source, size)
+        self.gpu.memory.write(destination, data)
+        duration = 2 * size / self.gpu.spec.memory_bandwidth_bytes_per_s
+        return self.gpu.engine.execute(duration, label="d2d")
+
+    def memset_d8(self, device, value, size):
+        """8-bit device memset, timed against device memory bandwidth."""
+        self._driver_call()
+        self.gpu.memory.fill(device, value, size)
+        duration = size / self.gpu.spec.memory_bandwidth_bytes_per_s
+        return self.gpu.engine.execute(duration, label="memset")
+
+    def _schedule_transfer(self, size, direction, stream):
+        if self.machine.integrated:
+            # CPU and accelerator share physical memory: the "transfer" is
+            # a no-op aside from the driver call (Section 3.1's low-cost
+            # system).  Bytes are still counted as zero moved on the link.
+            return self.link.resource(direction).schedule(0.0, label="no-op")
+        earliest = stream.earliest_next if stream is not None else None
+        completion = self.link.transfer(
+            size, direction, label=str(direction), earliest=earliest
+        )
+        if stream is not None:
+            stream.chain(completion)
+        return completion
+
+    # -- execution -------------------------------------------------------------------
+
+    def launch(self, kernel, args, stream=None, earliest=None):
+        """Launch a kernel asynchronously; returns its Completion.
+
+        ``earliest`` lets callers thread data dependencies (e.g. "after all
+        pending host-to-device evictions"), on top of stream ordering.
+        """
+        self._driver_call()
+        duration = kernel.duration_on(self.gpu, args)
+        kernel.execute(self.gpu, args)
+        dependency = earliest
+        if stream is not None and stream.earliest_next is not None:
+            dependency = max(
+                stream.earliest_next,
+                earliest if earliest is not None else 0.0,
+            )
+        completion = self.gpu.launch(
+            duration, label=kernel.name, earliest=dependency
+        )
+        if stream is not None:
+            stream.chain(completion)
+        return completion
+
+    def synchronize(self):
+        """Wait for everything: kernels and transfers."""
+        self._driver_call()
+        self.gpu.synchronize()
+        self.link.drain()
+        return self.clock.now

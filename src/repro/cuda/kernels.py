@@ -1,0 +1,47 @@
+"""Kernel objects: real numerics plus a virtual-time cost model.
+
+A kernel is a Python function that computes over numpy views of *device*
+memory (the asymmetry: kernels never see host mappings) together with a
+cost function mapping the launch arguments to abstract work units and bytes
+touched.  The GPU spec converts those into execution seconds.
+
+Numerics execute eagerly at launch so results are exact; timing is
+scheduled on the GPU's execution resource so launches remain asynchronous.
+"""
+
+from repro.util.errors import CudaError
+
+
+class Kernel:
+    """A device kernel: ``fn(gpu, **args)`` + ``cost(**args)``.
+
+    ``cost`` must return ``(work_units, bytes_touched)``; either may be
+    zero.  ``writes`` optionally names the pointer arguments the kernel
+    writes — the hook Section 4.3 suggests for compiler/programmer
+    annotations that avoid needless transfers (used by the annotation
+    ablation, not by the core protocols).
+    """
+
+    def __init__(self, name, fn, cost, writes=None):
+        if not callable(fn) or not callable(cost):
+            raise CudaError(f"kernel {name!r} needs callable fn and cost")
+        self.name = name
+        self.fn = fn
+        self.cost = cost
+        self.writes = frozenset(writes or ())
+
+    def duration_on(self, gpu, args):
+        """Execution seconds of this kernel on ``gpu`` for ``args``."""
+        work_units, bytes_touched = self.cost(**args)
+        if work_units < 0 or bytes_touched < 0:
+            raise CudaError(
+                f"kernel {self.name!r} cost model returned negative values"
+            )
+        return gpu.kernel_seconds(work_units, bytes_touched)
+
+    def execute(self, gpu, args):
+        """Run the numerics against device memory (no timing)."""
+        self.fn(gpu, **args)
+
+    def __repr__(self):
+        return f"Kernel({self.name!r})"

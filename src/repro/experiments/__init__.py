@@ -1,0 +1,14 @@
+"""The experiment harness: one module per paper table/figure.
+
+Each module exposes ``run(quick=False) -> ExperimentResult``; the registry
+maps experiment ids (``fig2`` ... ``fig12``, ``tab2``, ``porting``,
+``motivation``, ``ablations``) to modules, and
+``python -m repro.experiments <id>`` prints the regenerated table.
+``quick=True`` shrinks workload sizes for test suites; the shapes (who
+wins, by what factor) are preserved.
+"""
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.registry import REGISTRY, run_experiment
+
+__all__ = ["ExperimentResult", "REGISTRY", "run_experiment"]

@@ -1,0 +1,67 @@
+"""CLI: regenerate paper tables/figures.
+
+Usage::
+
+    python -m repro.experiments fig7          # one experiment
+    python -m repro.experiments all           # everything
+    python -m repro.experiments fig7 --quick  # shrunk sizes
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import REGISTRY, run_experiment
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help=(
+            f"experiment id ({', '.join(sorted(REGISTRY))}), 'all', or "
+            "'report' to write a markdown reproduction report"
+        ),
+    )
+    parser.add_argument(
+        "--output",
+        default="reproduction_report.md",
+        help="output path for the 'report' mode",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrunk workload sizes (shape-preserving)",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render figure-shaped results as ASCII log-scale charts",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "report":
+        from repro.experiments.report import write_report
+
+        write_report(args.output, quick=args.quick)
+        print(f"wrote {args.output}")
+        return 0
+    ids = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        started = time.time()
+        result = run_experiment(experiment_id, quick=args.quick)
+        print(result.render())
+        if args.chart:
+            chart = result.chart()
+            if chart is not None:
+                print()
+                print(chart)
+        print(f"(regenerated in {time.time() - started:.1f}s wall)")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

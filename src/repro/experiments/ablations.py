@@ -1,0 +1,308 @@
+"""Ablations for the design choices the paper discusses but does not plot.
+
+* **Kernel-output annotation** (Section 4.3): all protocols must fetch
+  back objects the kernel never wrote, unless the call is annotated with
+  the objects it writes (the interprocedural-pointer-analysis hook).
+* **Integrated system** (Section 3.1): the same ADSM program on a
+  shared-physical-memory machine runs with zero copies — the
+  architecture-independence benefit.
+* **adsmSafeAlloc** (Section 4.2): when the fixed mapping collides, the
+  normal allocation fails and the safe variant (with explicit adsmSafe()
+  translation) still works.
+* **Adaptive rolling size** (Section 4.3): the adaptive policy (2 blocks
+  per allocation) avoids the Figure 12 pathology a fixed size of 1 hits.
+* **Transfer/compute overlap** (Section 2.2's second motivation):
+  rolling-update matches hand-tuned double buffering with no extra code.
+* **Hardware peer DMA** (Section 7): I/O straight between disk and
+  accelerator memory speeds up the I/O-heavy MRI benchmarks.
+* **Accelerator virtual memory** (Section 4.2): adsmAlloc negotiates a
+  common virtual range, so multi-accelerator systems never collide.
+"""
+
+import numpy as np
+
+from repro.util.errors import GmacError
+from repro.util.units import KB
+from repro.hw.machine import reference_system, integrated_system
+from repro.cuda.kernels import Kernel
+from repro.workloads.base import Application
+from repro.workloads.vecadd import VectorAdd
+from repro.workloads.parboil import Tpacf
+from repro.experiments.result import ExperimentResult
+
+EXPERIMENT_ID = "ablations"
+TITLE = (
+    "design-choice ablations (annotation, integrated, safe-alloc, "
+    "adaptive, overlap, peer DMA, accelerator virtual memory)"
+)
+PAPER_CLAIM = (
+    "annotations avoid read-backs of unwritten objects; ADSM programs run "
+    "unchanged on shared-memory systems; safe-alloc survives address "
+    "collisions; the adaptive rolling size avoids thrashing; rolling-update "
+    "matches hand-tuned double buffering; peer DMA speeds up I/O-heavy "
+    "benchmarks; accelerator virtual memory removes collisions entirely"
+)
+
+
+def _copy_fn(gpu, src, dst, n):
+    gpu.view(dst, "f4", n)[:] = gpu.view(src, "f4", n)
+
+
+COPY_KERNEL = Kernel(
+    "copy",
+    _copy_fn,
+    cost=lambda src, dst, n: (n, 8 * n),
+    writes=("dst",),
+)
+
+
+def _annotation_rows(quick):
+    """Fetch-back volume with and without the `writes` annotation."""
+    n = 65536 if quick else 262144
+    rows = []
+    for annotated in (False, True):
+        machine = reference_system()
+        app = Application(machine)
+        gmac = app.gmac(protocol="rolling", layer="driver")
+        src = gmac.alloc(4 * n, name="src")
+        dst = gmac.alloc(4 * n, name="dst")
+        values = np.arange(n, dtype=np.float32)
+        src.write_array(values)
+        writes = [dst] if annotated else None
+        gmac.call(COPY_KERNEL, writes=writes, src=src, dst=dst, n=n)
+        gmac.sync()
+        before = gmac.bytes_to_host
+        # The CPU consumes BOTH objects after return; only `dst` was
+        # written by the kernel.
+        ok = bool(
+            np.array_equal(src.read_array("f4", n), values)
+            and np.array_equal(dst.read_array("f4", n), values)
+        )
+        rows.append(
+            [
+                "annotation",
+                "writes=[dst]" if annotated else "unannotated",
+                f"fetched {gmac.bytes_to_host - before} bytes after return",
+                "yes" if ok else "NO",
+            ]
+        )
+    return rows
+
+
+def _integrated_rows(quick):
+    """The same vecadd source on discrete and integrated machines."""
+    elements = 65536 if quick else 524288
+    rows = []
+    for label, machine in (
+        ("discrete (PCIe)", reference_system()),
+        ("integrated (shared memory)", integrated_system()),
+    ):
+        workload = VectorAdd(elements=elements)
+        result = workload.execute(
+            mode="gmac", protocol="rolling", machine=machine,
+            gmac_options={"layer": "driver"},
+        )
+        moved = sum(machine.link.bytes_moved.values())
+        rows.append(
+            [
+                "integrated",
+                label,
+                f"{moved} bytes over the link, {result.elapsed * 1e3:.2f} ms",
+                "yes" if result.verified else "NO",
+            ]
+        )
+    return rows
+
+
+def _safe_alloc_rows():
+    """Force the Section 4.2 address collision and recover via safe-alloc."""
+    machine = reference_system()
+    app = Application(machine)
+    gmac = app.gmac(protocol="rolling", layer="driver")
+    # Occupy the host range the next cudaMalloc will return, simulating a
+    # second accelerator whose allocations overlap (multi-GPU hazard).
+    probe = gmac.alloc(4096, name="probe")
+    collision_base = int(probe) + 2 * 4096
+    app.process.address_space.mmap(16 * 4096, fixed_address=collision_base)
+    try:
+        gmac.alloc(8 * 4096, name="doomed")
+        normal = "unexpectedly succeeded"
+        ok = False
+    except GmacError:
+        normal = "collision detected, adsmAlloc refused"
+        ok = True
+    safe = gmac.safe_alloc(8 * 4096, name="recovered")
+    device_addr = gmac.safe(safe)
+    safe.write_array(np.full(16, 7, dtype=np.int32))
+    translated_ok = device_addr != int(safe)
+    return [
+        ["safe-alloc", "adsmAlloc under collision", normal, "yes" if ok else "NO"],
+        [
+            "safe-alloc",
+            "adsmSafeAlloc + adsmSafe",
+            f"host {int(safe):#x} -> device {device_addr:#x}",
+            "yes" if translated_ok else "NO",
+        ],
+    ]
+
+
+def _overlap_rows(quick):
+    """Section 2.2's second motivation: automatic transfer/compute overlap.
+
+    Hand-tuned double buffering (staging buffers, async copies, explicit
+    synchronization) against plain CUDA and against GMAC rolling-update,
+    which gets the same overlap with zero extra application code.
+    """
+    # The vectors must span enough 256KB blocks for overlap to matter.
+    elements = 512 * 1024 if quick else 1024 * 1024
+    rows = []
+    times = {}
+    for mode, options in (
+        ("cuda", None),
+        ("cuda-db", None),
+        ("gmac", {"protocol_options": {"block_size": 256 * KB}}),
+    ):
+        workload = VectorAdd(elements=elements)
+        result = workload.execute(
+            mode=mode, protocol="rolling", gmac_options=options
+        )
+        times[mode] = result.elapsed
+        label = {
+            "cuda": "CUDA, synchronous copies",
+            "cuda-db": "CUDA, hand-tuned double buffering",
+            "gmac": "GMAC rolling-update (no extra code)",
+        }[mode]
+        rows.append(
+            [
+                "overlap",
+                label,
+                f"{result.elapsed * 1e3:.2f} ms",
+                "yes" if result.verified else "NO",
+            ]
+        )
+    # The claim itself: GMAC matches the hand-tuned overlap and both beat
+    # the synchronous baseline.
+    claim_holds = (
+        times["gmac"] <= times["cuda-db"] * 1.1
+        and times["cuda-db"] < times["cuda"]
+    )
+    rows.append(
+        [
+            "overlap",
+            "GMAC matches double buffering",
+            f"gmac/db ratio {times['gmac'] / times['cuda-db']:.3f}",
+            "yes" if claim_holds else "NO",
+        ]
+    )
+    return rows
+
+
+def _adaptive_rows(quick):
+    """Adaptive rolling size vs a fixed size of 1 on tpacf."""
+    n_points = 65536 if quick else 262144
+    rows = []
+    # At 256KB blocks the adaptive window (2 allocations x 2 = 4 blocks =
+    # 1MB) covers tpacf's initialisation tile; a fixed size of 1 does not.
+    for label, options in (
+        ("adaptive (+2/alloc)", {"block_size": 256 * KB}),
+        ("fixed 1", {"block_size": 256 * KB, "rolling_size": 1}),
+    ):
+        workload = Tpacf(n_points=n_points)
+        result = workload.execute(
+            mode="gmac", protocol="rolling",
+            gmac_options={"layer": "driver", "protocol_options": options},
+        )
+        rows.append(
+            [
+                "adaptive-rolling",
+                label,
+                f"{result.elapsed * 1e3:.2f} ms, "
+                f"{result.bytes_to_accelerator >> 20} MB to accelerator",
+                "yes" if result.verified else "NO",
+            ]
+        )
+    return rows
+
+
+def _peer_dma_rows(quick):
+    """Section 7: "hardware supported peer DMA can increase the performance
+    of certain applications" — measured on mri-fhd, the paper's named
+    beneficiary."""
+    from repro.workloads.parboil import MriFhd
+
+    sizes = dict(n_samples=8192, n_voxels=64) if quick else {}
+    rows = []
+    times = {}
+    for peer_dma in (False, True):
+        workload = MriFhd(**sizes)
+        result = workload.execute(
+            mode="gmac", protocol="rolling",
+            gmac_options={"layer": "driver", "peer_dma": peer_dma},
+        )
+        times[peer_dma] = result.elapsed
+        rows.append(
+            [
+                "peer-dma",
+                "hardware peer DMA" if peer_dma else "software (bounce copy)",
+                f"mri-fhd {result.elapsed * 1e3:.2f} ms, "
+                f"{result.faults} faults",
+                "yes" if result.verified else "NO",
+            ]
+        )
+    rows.append(
+        [
+            "peer-dma",
+            "speed-up",
+            f"{times[False] / times[True]:.3f}x",
+            "yes" if times[True] < times[False] else "NO",
+        ]
+    )
+    return rows
+
+
+def _virtual_memory_rows():
+    """Section 4.2: with accelerator virtual memory, adsmAlloc never
+    collides, even with multiple accelerators sharing address ranges."""
+    from repro.hw.machine import Machine
+    from repro.hw.specs import FERMI
+
+    machine = Machine(gpu_spec=FERMI, gpu_count=2)
+    app = Application(machine)
+    first = app.gmac(protocol="rolling", layer="driver",
+                     gpu=machine.gpus[0], interpose=False)
+    second = app.gmac(protocol="rolling", layer="driver",
+                      gpu=machine.gpus[1], interpose=False)
+    a = first.alloc(1 << 20)
+    try:
+        b = second.alloc(1 << 20)
+        observation = (
+            f"two accelerators, both aliased: {int(a):#x} and {int(b):#x}"
+        )
+        ok = first.manager.region_at(int(a)).is_aliased and (
+            second.manager.region_at(int(b)).is_aliased
+        )
+    except GmacError as exc:
+        observation = f"unexpected collision: {exc}"
+        ok = False
+    return [
+        ["virtual-memory", "2x Fermi-class (VM) GPUs", observation,
+         "yes" if ok else "NO"],
+    ]
+
+
+def run(quick=False):
+    rows = []
+    rows.extend(_annotation_rows(quick))
+    rows.extend(_integrated_rows(quick))
+    rows.extend(_safe_alloc_rows())
+    rows.extend(_adaptive_rows(quick))
+    rows.extend(_overlap_rows(quick))
+    rows.extend(_peer_dma_rows(quick))
+    rows.extend(_virtual_memory_rows())
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        headers=["ablation", "configuration", "observation", "ok"],
+        rows=rows,
+    )

@@ -1,0 +1,57 @@
+"""Shared plumbing for the experiment modules.
+
+Figures 7, 8 and 10 are different projections of the same Parboil runs;
+this module runs each (benchmark, mode, protocol) combination once per
+process and caches the :class:`~repro.workloads.base.WorkloadResult`.
+"""
+
+from repro.util.units import KB, MB
+from repro.workloads.parboil import PARBOIL
+
+#: Shrunk workload parameters for test runs (shape-preserving).
+QUICK_PARAMS = {
+    "cp": dict(grid_n=96, n_atoms=48),
+    "mri-fhd": dict(n_samples=4096, n_voxels=64),
+    # Q must span several 256KB blocks for the rolling-vs-lazy read-back
+    # contrast to exist, so the voxel count stays at its default.
+    "mri-q": dict(n_samples=48, n_voxels=65536),
+    "pns": dict(n_places=(1 * MB) // 4, iterations=48, sample_interval=8),
+    "rpes": dict(n_integrals=64 * 1024, n_roots=16),
+    "sad": dict(width=128, height=128, search=4),
+    "tpacf": dict(n_points=131072),
+}
+
+#: The protocol order of Figures 7 and 8.
+PROTOCOL_ORDER = ("batch", "lazy", "rolling")
+
+_cache = {}
+
+
+def make_workload(name, quick=False):
+    cls = PARBOIL[name]
+    if quick:
+        return cls(**QUICK_PARAMS[name])
+    return cls()
+
+
+def run_parboil(name, mode, protocol="rolling", quick=False, layer="runtime",
+                protocol_options=None):
+    """Run (and cache) one Parboil configuration."""
+    options_key = tuple(sorted((protocol_options or {}).items()))
+    key = (name, mode, protocol if mode == "gmac" else "-", quick, layer,
+           options_key)
+    if key not in _cache:
+        workload = make_workload(name, quick=quick)
+        gmac_options = {"layer": layer}
+        if protocol_options:
+            gmac_options["protocol_options"] = dict(protocol_options)
+        _cache[key] = workload.execute(
+            mode=mode,
+            protocol=protocol,
+            gmac_options=gmac_options if mode == "gmac" else None,
+        )
+    return _cache[key]
+
+
+def clear_cache():
+    _cache.clear()

@@ -1,0 +1,67 @@
+"""Figure 2 — bandwidth required by NPB kernels vs interconnect capacity.
+
+"Estimated bandwidth requirements for computationally intensive kernels of
+bt, ep, lu, mg, ua benchmarks, assuming a 800MHz clock frequency ... if all
+data accesses are done through a PCIe bus, the maximum achievable value of
+IPC is 50 for bt and 5 for ua."
+"""
+
+from repro.util.units import GB
+from repro.hw.specs import PCIE_2_0_X16, QPI, HYPERTRANSPORT, GTX295_MEMORY
+from repro.workloads.npb import NPB_KERNELS, trace_summary
+from repro.workloads.npb_kernel import ipc_ceiling
+from repro.experiments.result import ExperimentResult
+
+EXPERIMENT_ID = "fig2"
+TITLE = "NPB kernel bandwidth requirements vs interconnect capacity"
+PAPER_CLAIM = (
+    "PCIe caps bt at IPC~50 and ua at IPC~5; on-board GPU memory sustains "
+    "far higher IPC than any CPU-accelerator interconnect"
+)
+
+IPC_SWEEP = (1, 2, 5, 10, 20, 50, 100)
+
+LINKS = (PCIE_2_0_X16, QPI, HYPERTRANSPORT, GTX295_MEMORY)
+
+
+def run(quick=False):
+    instructions = 50_000 if quick else 400_000
+    rows = []
+    for name in ("bt", "ep", "lu", "mg", "ua"):
+        spec = NPB_KERNELS[name]
+        summary = trace_summary(name, instructions=instructions, seed=11)
+        row = [name, round(summary.bytes_per_instruction, 4)]
+        row.extend(
+            round(spec.required_bandwidth(ipc) / GB, 3) for ipc in IPC_SWEEP
+        )
+        row.extend(
+            round(spec.max_ipc(link.h2d_bytes_per_s), 1) for link in LINKS
+        )
+        # The simulated companion: run the kernel's instruction stream
+        # through the actual machine timelines and read the ceiling off
+        # the makespan (see workloads/npb_kernel.py).
+        row.append(round(ipc_ceiling(name, "pcie"), 1))
+        row.append(round(ipc_ceiling(name, "device"), 1))
+        rows.append(row)
+    headers = (
+        ["benchmark", "bytes/instr"]
+        + [f"GB/s@IPC{ipc}" for ipc in IPC_SWEEP]
+        + [f"maxIPC:{link.name}" for link in LINKS]
+        + ["simIPC:PCIe", "simIPC:on-board"]
+    )
+    notes = [
+        "bytes/instr measured from synthetic traces calibrated to the "
+        "paper's PCIe break-points (bt: IPC 50, ua: IPC 5)",
+        "capacity lines (GB/s): "
+        + ", ".join(f"{link.name}={link.h2d_bytes_per_s / GB:.1f}" for link in LINKS),
+        "simIPC columns: achieved IPC of a simulated streaming kernel "
+        "(target 100) with data over PCIe vs in accelerator memory",
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        headers=headers,
+        rows=rows,
+        notes=notes,
+    )

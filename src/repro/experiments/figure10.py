@@ -1,0 +1,60 @@
+"""Figure 10 — execution-time break-down under rolling-update.
+
+"Most execution time is spent on computations on the CPU or at the GPU.
+I/O operations ... and data transfers are the next-most time consuming
+operations ... the overhead due to signal handling ... is negligible,
+always below 2% of the total execution time.  Some benchmarks (mri-fhd and
+mri-q) have high levels of I/O read activities."
+"""
+
+from repro.sim.tracing import Category
+from repro.experiments.common import run_parboil
+from repro.experiments.result import ExperimentResult
+from repro.workloads.parboil import PARBOIL
+
+EXPERIMENT_ID = "fig10"
+TITLE = "per-category share of execution time (rolling-update, driver layer)"
+PAPER_CLAIM = (
+    "CPU+GPU dominate; I/O and copies come next; signal handling is always "
+    "below 2%; mri-fhd and mri-q are I/O-read heavy"
+)
+
+#: Figure 10's legend order.
+COLUMNS = [
+    Category.COPY,
+    Category.MALLOC,
+    Category.FREE,
+    Category.LAUNCH,
+    Category.SYNC,
+    Category.SIGNAL,
+    Category.CUDA_MALLOC,
+    Category.CUDA_FREE,
+    Category.CUDA_LAUNCH,
+    Category.GPU,
+    Category.IO_READ,
+    Category.IO_WRITE,
+    Category.CPU,
+]
+
+
+def run(quick=False):
+    rows = []
+    for name in PARBOIL:
+        result = run_parboil(
+            name, "gmac", protocol="rolling", quick=quick, layer="driver"
+        )
+        total = sum(result.breakdown.values())
+        row = [name]
+        for category in COLUMNS:
+            share = result.breakdown[str(category)] / total if total else 0.0
+            row.append(round(100.0 * share, 2))
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        headers=["benchmark"] + [f"{category}%" for category in COLUMNS],
+        rows=rows,
+        notes=["driver abstraction layer discards CUDA initialisation, "
+               "as in the paper's break-down runs"],
+    )

@@ -1,0 +1,72 @@
+"""Figure 11 — vector-add transfer times and bandwidth vs block size.
+
+"The data transfer bandwidth increases with the block size, reaching its
+maximum value for block sizes of 32MB ... There is an anomaly for a
+[mid-sized] block: the CPU-to-accelerator transfer time is smaller than
+for larger block sizes [because eager evictions overlap with CPU
+computation; beyond it] evictions must wait for the previous transfer to
+finish."
+"""
+
+from repro.util.units import KB, MB, GB, format_size
+from repro.hw.specs import PCIE_2_0_X16
+from repro.workloads.vecadd import transfer_phase_times
+from repro.experiments.result import ExperimentResult
+
+EXPERIMENT_ID = "fig11"
+TITLE = "vecadd transfer phase times and PCIe effective bandwidth"
+PAPER_CLAIM = (
+    "bandwidth rises to its max at 32MB; CPU-to-GPU time has a minimum at a "
+    "mid-size block (eager overlap), then rises when evictions outpace the "
+    "CPU; GPU-to-CPU time falls monotonically"
+)
+
+BLOCK_SIZES = (
+    4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB, 256 * KB,
+    512 * KB, 1 * MB, 2 * MB, 4 * MB, 8 * MB, 16 * MB, 32 * MB,
+)
+QUICK_BLOCK_SIZES = (4 * KB, 64 * KB, 256 * KB, 1 * MB, 32 * MB)
+
+
+def run(quick=False):
+    block_sizes = QUICK_BLOCK_SIZES if quick else BLOCK_SIZES
+    elements = 256 * 1024 if quick else 2 * 1024 * 1024
+    rows = []
+    for block_size in block_sizes:
+        phases = transfer_phase_times(block_size, elements=elements)
+        rows.append(
+            [
+                format_size(block_size),
+                round(phases["cpu_to_gpu_s"] * 1e3, 3),
+                round(phases["gpu_to_cpu_s"] * 1e3, 3),
+                round(
+                    PCIE_2_0_X16.effective_bandwidth(block_size) / GB, 3
+                ),
+                round(
+                    PCIE_2_0_X16.effective_bandwidth(block_size, d2h=True)
+                    / GB, 3
+                ),
+                phases["faults"],
+                "yes" if phases["verified"] else "NO",
+            ]
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        headers=[
+            "block size",
+            "CPU-to-GPU ms",
+            "GPU-to-CPU ms",
+            "H2D GB/s",
+            "D2H GB/s",
+            "faults",
+            "verified",
+        ],
+        rows=rows,
+        notes=[
+            f"vector size: {elements} elements each, rolling-update, "
+            "fixed rolling size 16, driver layer",
+        ],
+        chart_spec=("block size", ["CPU-to-GPU ms", "GPU-to-CPU ms"]),
+    )

@@ -1,0 +1,41 @@
+"""Experiment registry and dispatch."""
+
+from repro.experiments import (
+    figure02,
+    figure07,
+    figure08,
+    figure09,
+    figure10,
+    figure11,
+    figure12,
+    table02,
+    porting,
+    motivation,
+    ablations,
+)
+
+#: Experiment id -> module.  Every table and figure in the paper's
+#: evaluation appears here (Table 1 is the API itself, asserted by tests).
+REGISTRY = {
+    "fig2": figure02,
+    "tab2": table02,
+    "fig7": figure07,
+    "fig8": figure08,
+    "fig9": figure09,
+    "fig10": figure10,
+    "fig11": figure11,
+    "fig12": figure12,
+    "porting": porting,
+    "motivation": motivation,
+    "ablations": ablations,
+}
+
+
+def run_experiment(experiment_id, quick=False):
+    """Run one experiment by id; returns its ExperimentResult."""
+    if experiment_id not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(sorted(REGISTRY))}"
+        )
+    return REGISTRY[experiment_id].run(quick=quick)

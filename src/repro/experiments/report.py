@@ -1,0 +1,68 @@
+"""One-shot reproduction report.
+
+``python -m repro.experiments report`` runs every registered experiment
+and writes a single markdown document — tables, charts where available,
+and the paper claim each artifact is checked against.  This is the
+regenerate-everything entry point referenced by EXPERIMENTS.md.
+"""
+
+import io
+import time
+
+from repro.experiments.registry import REGISTRY, run_experiment
+
+#: Paper-facing ordering for the report sections.
+SECTION_ORDER = [
+    "motivation", "fig2", "tab2", "porting",
+    "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "ablations",
+]
+
+
+def _markdown_table(result):
+    out = io.StringIO()
+    out.write("| " + " | ".join(str(h) for h in result.headers) + " |\n")
+    out.write("|" + "---|" * len(result.headers) + "\n")
+    for row in result.rows:
+        out.write("| " + " | ".join(str(cell) for cell in row) + " |\n")
+    return out.getvalue()
+
+
+def build_report(quick=False, experiment_ids=None, include_charts=True):
+    """Run experiments and return the markdown report text."""
+    ids = list(experiment_ids) if experiment_ids else [
+        experiment_id for experiment_id in SECTION_ORDER
+        if experiment_id in REGISTRY
+    ]
+    out = io.StringIO()
+    out.write("# GMAC/ADSM reproduction report\n\n")
+    out.write(
+        "Regenerated {} artifacts ({} workload sizes).\n\n".format(
+            len(ids), "quick" if quick else "full"
+        )
+    )
+    for experiment_id in ids:
+        started = time.time()
+        result = run_experiment(experiment_id, quick=quick)
+        out.write(f"## {result.experiment_id} — {result.title}\n\n")
+        out.write(f"**Paper claim:** {result.paper_claim}\n\n")
+        out.write(_markdown_table(result))
+        out.write("\n")
+        for note in result.notes:
+            out.write(f"*{note}*\n\n")
+        if include_charts:
+            chart = result.chart()
+            if chart is not None:
+                out.write("```\n" + chart + "\n```\n\n")
+        out.write(
+            f"_regenerated in {time.time() - started:.1f}s wall_\n\n"
+        )
+    return out.getvalue()
+
+
+def write_report(path, quick=False, experiment_ids=None):
+    """Build the report and write it to ``path``; returns the text."""
+    text = build_report(quick=quick, experiment_ids=experiment_ids)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return text

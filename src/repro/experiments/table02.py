@@ -1,0 +1,29 @@
+"""Table 2 — the Parboil benchmark suite, as implemented here."""
+
+from repro.experiments.result import ExperimentResult
+from repro.workloads.parboil import PARBOIL
+
+EXPERIMENT_ID = "tab2"
+TITLE = "Parboil benchmark descriptions and default scaled sizes"
+PAPER_CLAIM = "seven Parboil benchmarks: cp, mri-fhd, mri-q, pns, rpes, sad, tpacf"
+
+
+def run(quick=False):
+    rows = []
+    for name, cls in PARBOIL.items():
+        workload = cls()
+        footprint = 0
+        for attribute in dir(workload):
+            if attribute.endswith("_bytes") and not attribute.startswith("_"):
+                value = getattr(workload, attribute)
+                if isinstance(value, int):
+                    footprint += value
+        rows.append([name, cls.__name__, workload.description,
+                     round(footprint / (1024 * 1024), 2)])
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        headers=["benchmark", "class", "description", "shared MB (approx)"],
+        rows=rows,
+    )

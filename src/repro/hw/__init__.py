@@ -1,0 +1,62 @@
+"""Hardware models for the Figure 1 reference architecture.
+
+The paper's testbed is a dual Opteron host with 8GB of RAM, an NVIDIA G280
+with 1GB of GDDR attached over PCIe 2.0 x16, and a disk.  This package
+models each piece with virtual-time cost models:
+
+* :mod:`repro.hw.specs` -- named parameter presets (PCIe, HyperTransport,
+  QPI, GTX280/GTX295, Opteron, a commodity disk),
+* :mod:`repro.hw.memory` -- a byte-accurate device-memory store with a
+  first-fit, coalescing free-list allocator,
+* :mod:`repro.hw.interconnect` -- a latency+bandwidth link with independent
+  per-direction timelines,
+* :mod:`repro.hw.gpu` -- the accelerator: device memory plus an execution
+  timeline,
+* :mod:`repro.hw.cpu` -- CPU compute cost helpers,
+* :mod:`repro.hw.disk` -- the disk timeline,
+* :mod:`repro.hw.machine` -- assembly of the whole machine, including the
+  integrated (shared-memory) variant discussed in Section 3.1.
+"""
+
+from repro.hw.specs import (
+    LinkSpec,
+    GpuSpec,
+    CpuSpec,
+    DiskSpec,
+    PCIE_2_0_X16,
+    HYPERTRANSPORT,
+    QPI,
+    GTX295_MEMORY,
+    GTX280,
+    OPTERON_2222,
+    COMMODITY_DISK,
+)
+from repro.hw.memory import DeviceMemory
+from repro.hw.interconnect import Link, Direction
+from repro.hw.gpu import Gpu
+from repro.hw.cpu import Cpu
+from repro.hw.disk import Disk
+from repro.hw.machine import Machine, reference_system, integrated_system
+
+__all__ = [
+    "LinkSpec",
+    "GpuSpec",
+    "CpuSpec",
+    "DiskSpec",
+    "PCIE_2_0_X16",
+    "HYPERTRANSPORT",
+    "QPI",
+    "GTX295_MEMORY",
+    "GTX280",
+    "OPTERON_2222",
+    "COMMODITY_DISK",
+    "DeviceMemory",
+    "Link",
+    "Direction",
+    "Gpu",
+    "Cpu",
+    "Disk",
+    "Machine",
+    "reference_system",
+    "integrated_system",
+]

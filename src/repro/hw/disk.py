@@ -1,0 +1,32 @@
+"""The disk model.
+
+File reads and writes serialize on a single disk timeline; durations come
+from the :class:`~repro.hw.specs.DiskSpec` latency+bandwidth model.  The
+simulated filesystem (:mod:`repro.os.filesystem`) charges its operations
+here, which is what makes IORead/IOWrite visible in the Figure 10
+break-down and makes large-block disk dumps cheaper per byte (the Figure 9
+volume-dump effect).
+"""
+
+from repro.sim.resource import Resource
+
+
+class Disk:
+    """A single-spindle disk with a FIFO timeline."""
+
+    def __init__(self, spec, clock):
+        self.spec = spec
+        self.clock = clock
+        self.resource = Resource(spec.name, clock)
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def read(self, size, label="disk-read"):
+        """Schedule and wait for a read of ``size`` bytes."""
+        self.bytes_read += size
+        return self.resource.execute(self.spec.read_seconds(size), label=label)
+
+    def write(self, size, label="disk-write"):
+        """Schedule and wait for a write of ``size`` bytes."""
+        self.bytes_written += size
+        return self.resource.execute(self.spec.write_seconds(size), label=label)

@@ -1,0 +1,49 @@
+"""The accelerator model.
+
+A :class:`Gpu` owns its device memory and a single execution timeline
+(kernels from one application serialize, as on the paper's G280).  Kernel
+launches are asynchronous: the launch returns immediately with a
+:class:`~repro.sim.resource.Completion` and the host pays the wait at
+synchronization time — the behaviour `adsmSync`/`cudaThreadSynchronize`
+relies on.
+
+Asymmetry (the core ADSM premise) is enforced here: kernels receive numpy
+views of *device* memory only; there is no path from device code to host
+mappings.
+"""
+
+from repro.sim.resource import Resource
+from repro.hw.memory import DeviceMemory
+
+
+class Gpu:
+    """An accelerator: device memory + serialized execution engine."""
+
+    def __init__(self, spec, clock, memory_base=None):
+        self.spec = spec
+        self.clock = clock
+        if memory_base is None:
+            self.memory = DeviceMemory(spec.memory_bytes)
+        else:
+            self.memory = DeviceMemory(spec.memory_bytes, base=memory_base)
+        self.engine = Resource(f"{spec.name} engine", clock)
+        self.kernels_launched = 0
+
+    def launch(self, duration, label="kernel", earliest=None):
+        """Schedule kernel execution time; returns a Completion."""
+        self.kernels_launched += 1
+        issue = self.spec.issue_overhead_s
+        return self.engine.schedule(
+            issue + duration, label=label, earliest=earliest
+        )
+
+    def kernel_seconds(self, work_units, bytes_touched=0):
+        return self.spec.kernel_seconds(work_units, bytes_touched)
+
+    def synchronize(self):
+        """Block the host until all launched kernels have finished."""
+        return self.engine.drain()
+
+    def view(self, address, dtype, count):
+        """Device-memory numpy view handed to kernel functions."""
+        return self.memory.view(address, dtype, count)

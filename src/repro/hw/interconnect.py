@@ -1,0 +1,75 @@
+"""The CPU<->accelerator interconnect.
+
+A :class:`Link` owns two independent :class:`~repro.sim.resource.Resource`
+timelines, one per direction (PCIe is full duplex), and converts transfer
+sizes to durations through its :class:`~repro.hw.specs.LinkSpec`.  Byte
+counters per direction feed Figure 8 (transferred data) and Figure 11
+(effective bandwidth vs block size).
+"""
+
+import enum
+
+from repro.sim.resource import Resource
+
+
+class Direction(enum.Enum):
+    H2D = "host-to-accelerator"
+    D2H = "accelerator-to-host"
+
+    def __str__(self):
+        return self.value
+
+
+class Link:
+    """A full-duplex link between system memory and accelerator memory."""
+
+    def __init__(self, spec, clock):
+        self.spec = spec
+        self.clock = clock
+        self._resources = {
+            Direction.H2D: Resource(f"{spec.name} H2D", clock),
+            Direction.D2H: Resource(f"{spec.name} D2H", clock),
+        }
+        self.bytes_moved = {Direction.H2D: 0, Direction.D2H: 0}
+        self.transfer_count = {Direction.H2D: 0, Direction.D2H: 0}
+
+    def resource(self, direction):
+        return self._resources[direction]
+
+    def transfer_seconds(self, size, direction):
+        return self.spec.transfer_seconds(size, d2h=direction is Direction.D2H)
+
+    def transfer(self, size, direction, label="dma", earliest=None):
+        """Schedule a DMA of ``size`` bytes; returns a Completion (async)."""
+        duration = self.transfer_seconds(size, direction)
+        self.bytes_moved[direction] += size
+        self.transfer_count[direction] += 1
+        return self._resources[direction].schedule(
+            duration, label=label, earliest=earliest
+        )
+
+    def transfer_sync(self, size, direction, label="dma", earliest=None):
+        """Schedule a DMA and block until it completes."""
+        completion = self.transfer(size, direction, label=label, earliest=earliest)
+        completion.wait()
+        return completion
+
+    def drain(self):
+        """Wait for all in-flight transfers in both directions."""
+        for resource in self._resources.values():
+            resource.drain()
+        return self.clock.now
+
+    def pending_until(self):
+        """The timestamp when the last queued transfer will finish."""
+        return max(r.available_at for r in self._resources.values())
+
+    def effective_bandwidth(self, size, direction):
+        """Measured-style effective bandwidth for one transfer of ``size``."""
+        return self.spec.effective_bandwidth(
+            size, d2h=direction is Direction.D2H
+        )
+
+    def reset_counters(self):
+        self.bytes_moved = {Direction.H2D: 0, Direction.D2H: 0}
+        self.transfer_count = {Direction.H2D: 0, Direction.D2H: 0}

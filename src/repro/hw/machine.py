@@ -1,0 +1,77 @@
+"""Assembly of the heterogeneous machine.
+
+:func:`reference_system` builds the paper's Figure 1 architecture (separate
+CPU and accelerator memories joined by PCIe); :func:`integrated_system`
+builds the low-cost variant of Section 3.1 where CPU and accelerator share
+one physical memory, which lets the same ADSM program run with zero copies
+— the architecture-independence benefit the paper claims for the
+data-centric model.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.tracing import TimeAccounting, TraceLog
+from repro.hw.specs import (
+    PCIE_2_0_X16,
+    HYPERTRANSPORT,
+    GTX280,
+    OPTERON_2222,
+    COMMODITY_DISK,
+)
+from repro.hw.interconnect import Link
+from repro.hw.gpu import Gpu
+from repro.hw.cpu import Cpu
+from repro.hw.disk import Disk
+
+
+class Machine:
+    """One simulated heterogeneous node: clock, CPU, GPU(s), link, disk."""
+
+    def __init__(
+        self,
+        cpu_spec=OPTERON_2222,
+        gpu_spec=GTX280,
+        link_spec=PCIE_2_0_X16,
+        disk_spec=COMMODITY_DISK,
+        gpu_count=1,
+        integrated=False,
+        trace=False,
+    ):
+        self.clock = SimClock()
+        self.trace = TraceLog() if trace else None
+        self.accounting = TimeAccounting(self.clock, trace=self.trace)
+        self.cpu = Cpu(cpu_spec, self.clock, accounting=self.accounting)
+        self.link = Link(link_spec, self.clock)
+        self.disk = Disk(disk_spec, self.clock)
+        self.integrated = integrated
+        self.gpus = []
+        for index in range(gpu_count):
+            # Multiple GPUs get overlapping device address ranges, exactly
+            # the collision hazard Section 4.2 describes; adsmSafeAlloc is
+            # the software fallback exercised against gpu_count > 1.
+            self.gpus.append(Gpu(gpu_spec, self.clock))
+        if not self.gpus:
+            raise ValueError("a heterogeneous machine needs at least one GPU")
+
+    @property
+    def gpu(self):
+        return self.gpus[0]
+
+    def elapsed(self):
+        return self.clock.now
+
+    def reset_transfer_counters(self):
+        self.link.reset_counters()
+
+
+def reference_system(trace=False, gpu_count=1):
+    """The Figure 1 reference architecture (the Section 5 testbed)."""
+    return Machine(trace=trace, gpu_count=gpu_count)
+
+
+def integrated_system(trace=False):
+    """A low-cost system where CPU and accelerator share physical memory.
+
+    The link is replaced by the memory-controller path (HyperTransport-like
+    in the paper's footnote) and GMAC performs no copies at all on it.
+    """
+    return Machine(link_spec=HYPERTRANSPORT, integrated=True, trace=trace)

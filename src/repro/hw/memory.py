@@ -1,0 +1,202 @@
+"""Byte-accurate device memory with a real allocator.
+
+The accelerator's on-board memory is a flat physical address space starting
+at :data:`DEVICE_BASE`.  ``cudaMalloc`` allocates out of it with a
+first-fit, coalescing free-list allocator (the classic design); each
+allocation is backed lazily by its own zeroed numpy buffer, so a 1GB device
+costs host RAM only for the bytes actually allocated.  Kernels obtain numpy
+views directly into the backing buffers, so kernel numerics are exact while
+allocation behaviour (address reuse, fragmentation, collisions with host
+addresses in multi-GPU setups) stays realistic.
+"""
+
+import bisect
+
+import numpy as np
+
+from repro.util.errors import AddressError, AllocationError
+from repro.util.intervals import Interval
+
+#: Device allocations start here.  On the paper's single-GPU testbed the
+#: range returned by cudaMalloc happens to be free in the host address space
+#: (outside the ELF sections), which is what makes the mmap-at-same-address
+#: trick work; we model that by placing the device heap high.
+DEVICE_BASE = 0x7F00_0000_0000
+
+
+class _Allocation:
+    __slots__ = ("interval", "buffer")
+
+    def __init__(self, interval):
+        self.interval = interval
+        self.buffer = np.zeros(interval.size, dtype=np.uint8)
+
+
+class DeviceMemory:
+    """A device physical memory: free-list allocator + per-allocation bytes."""
+
+    #: cudaMalloc-style allocations are page aligned, which is what lets
+    #: GMAC mmap host memory at the exact device address (Section 4.2).
+    DEFAULT_ALIGNMENT = 4096
+
+    def __init__(self, capacity, base=DEVICE_BASE, alignment=DEFAULT_ALIGNMENT):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if alignment <= 0 or (alignment & (alignment - 1)) != 0:
+            raise ValueError(f"alignment must be a power of two, got {alignment}")
+        self.capacity = capacity
+        self.base = base
+        self.alignment = alignment
+        # Free list of address-ordered, disjoint, coalesced intervals.
+        self._free = [Interval.sized(base, capacity)]
+        self._alloc_starts = []   # sorted allocation start addresses
+        self._allocations = {}    # start address -> _Allocation
+        self.bytes_in_use = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(self, size):
+        """First-fit allocation; returns the device address."""
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        padded = -(-size // self.alignment) * self.alignment
+        for index, hole in enumerate(self._free):
+            if hole.size >= padded:
+                allocated = Interval.sized(hole.start, padded)
+                remainder = Interval(allocated.end, hole.end)
+                if remainder:
+                    self._free[index] = remainder
+                else:
+                    self._free.pop(index)
+                self._allocations[allocated.start] = _Allocation(allocated)
+                bisect.insort(self._alloc_starts, allocated.start)
+                self.bytes_in_use += padded
+                return allocated.start
+        raise AllocationError(
+            f"device memory exhausted: {size} bytes requested, "
+            f"{self.bytes_free} free (fragmented into {len(self._free)} holes)"
+        )
+
+    def alloc_at(self, address, size):
+        """Allocate at an exact address (virtual-memory accelerators only).
+
+        Section 4.2's collision-free path: with virtual memory on the
+        accelerator, adsmAlloc picks one virtual range free on *both*
+        processors and maps it on each.  Raises AllocationError when the
+        range is not wholly inside a free hole.
+        """
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        padded = -(-size // self.alignment) * self.alignment
+        if address % self.alignment != 0:
+            raise AllocationError(
+                f"device address {address:#x} not {self.alignment}-aligned"
+            )
+        wanted = Interval.sized(address, padded)
+        for index, hole in enumerate(self._free):
+            if hole.contains_interval(wanted):
+                before = Interval(hole.start, wanted.start)
+                after = Interval(wanted.end, hole.end)
+                replacement = [piece for piece in (before, after) if piece]
+                self._free[index:index + 1] = replacement
+                self._allocations[wanted.start] = _Allocation(wanted)
+                bisect.insort(self._alloc_starts, wanted.start)
+                self.bytes_in_use += padded
+                return wanted.start
+        raise AllocationError(
+            f"device range [{address:#x}, +{padded:#x}) is not free"
+        )
+
+    def free_holes(self):
+        """The current free intervals (used to search for common ranges)."""
+        return list(self._free)
+
+    def free(self, address):
+        """Release an allocation, coalescing with free neighbours."""
+        allocation = self._allocations.pop(address, None)
+        if allocation is None:
+            raise AllocationError(f"free of unallocated device address {address:#x}")
+        self._alloc_starts.remove(address)
+        self.bytes_in_use -= allocation.interval.size
+        self._insert_free(allocation.interval)
+
+    def _insert_free(self, interval):
+        lo = bisect.bisect_left([hole.start for hole in self._free], interval.start)
+        self._free.insert(lo, interval)
+        # Coalesce with the next hole, then the previous one.
+        if lo + 1 < len(self._free) and self._free[lo].end == self._free[lo + 1].start:
+            merged = Interval(self._free[lo].start, self._free[lo + 1].end)
+            self._free[lo:lo + 2] = [merged]
+        if lo > 0 and self._free[lo - 1].end == self._free[lo].start:
+            merged = Interval(self._free[lo - 1].start, self._free[lo].end)
+            self._free[lo - 1:lo + 1] = [merged]
+
+    @property
+    def bytes_free(self):
+        return sum(hole.size for hole in self._free)
+
+    def allocation_at(self, address):
+        """The Interval of the allocation containing ``address``, or None."""
+        found = self._find(address)
+        return found.interval if found is not None else None
+
+    def _find(self, address):
+        index = bisect.bisect_right(self._alloc_starts, address)
+        if index == 0:
+            return None
+        allocation = self._allocations[self._alloc_starts[index - 1]]
+        if allocation.interval.contains(address):
+            return allocation
+        return None
+
+    def check_invariants(self):
+        """Free list is sorted, disjoint, coalesced and complements allocs."""
+        previous = None
+        for hole in self._free:
+            if previous is not None:
+                if hole.start < previous.end:
+                    raise AssertionError("free list overlaps")
+                if hole.start == previous.end:
+                    raise AssertionError("free list not coalesced")
+            previous = hole
+        total = self.bytes_free + sum(
+            allocation.interval.size for allocation in self._allocations.values()
+        )
+        if total != self.capacity:
+            raise AssertionError(
+                f"allocator leaked: free+used={total}, capacity={self.capacity}"
+            )
+
+    # -- data access --------------------------------------------------------
+
+    def _locate(self, address, size):
+        allocation = self._find(address)
+        if allocation is None or address + size > allocation.interval.end:
+            raise AddressError(
+                f"device access [{address:#x}, +{size:#x}) outside any allocation"
+            )
+        offset = address - allocation.interval.start
+        return allocation.buffer, offset
+
+    def read(self, address, size):
+        """Copy ``size`` bytes out of device memory."""
+        buffer, offset = self._locate(address, size)
+        return bytes(buffer[offset:offset + size])
+
+    def write(self, address, data):
+        """Copy bytes into device memory."""
+        data = np.frombuffer(bytes(data), dtype=np.uint8)
+        buffer, offset = self._locate(address, len(data))
+        buffer[offset:offset + len(data)] = data
+
+    def fill(self, address, value, size):
+        """memset-style fill."""
+        buffer, offset = self._locate(address, size)
+        buffer[offset:offset + size] = value & 0xFF
+
+    def view(self, address, dtype, count):
+        """A writable numpy view into device memory (what kernels use)."""
+        dtype = np.dtype(dtype)
+        size = dtype.itemsize * count
+        buffer, offset = self._locate(address, size)
+        return buffer[offset:offset + size].view(dtype)

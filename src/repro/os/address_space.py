@@ -1,0 +1,231 @@
+"""Page-granular virtual address space with a software MMU.
+
+A :class:`Mapping` is an anonymous memory region with per-page protection
+bits and a byte-accurate backing store.  :class:`AddressSpace` keeps
+mappings disjoint and implements the three system interfaces GMAC's shared
+address space needs (Section 4.2 of the paper):
+
+* ``mmap`` with an optional *fixed* address — how GMAC places system memory
+  at the exact virtual range ``cudaMalloc`` returned,
+* ``munmap``,
+* ``mprotect`` — how lazy- and rolling-update arm fault detection.
+
+The MMU itself is the :meth:`AddressSpace.check` method: given an access,
+it returns the first page-protection violation, which the process layer
+converts into a SIGSEGV.  ``peek``/``poke`` bypass protections; they model
+the library's own privileged access to memory it manages.
+"""
+
+import numpy as np
+
+from repro.util.errors import AddressError, AllocationError, ProtectionError
+from repro.util.intervals import Interval, RangeMap
+from repro.os.paging import PAGE_SIZE, Prot, page_ceil
+
+#: Where non-fixed mmaps are placed, loosely mimicking the Linux x86-64
+#: mmap area.  The device heap (DEVICE_BASE) sits far above this, which is
+#: why fixed mappings at cudaMalloc addresses normally succeed.
+MMAP_BASE = 0x2AAA_0000_0000
+
+#: Upper bound of the simulated user address space (47-bit, as on x86-64).
+USER_TOP = 1 << 47
+
+
+class Mapping:
+    """One anonymous mapping: backing bytes + per-page protections."""
+
+    def __init__(self, start, size, prot):
+        if start % PAGE_SIZE != 0 or size % PAGE_SIZE != 0:
+            raise AddressError(
+                f"mapping [{start:#x}, +{size:#x}) is not page aligned"
+            )
+        self.interval = Interval.sized(start, size)
+        self.backing = np.zeros(size, dtype=np.uint8)
+        self.page_prots = np.full(size // PAGE_SIZE, int(prot), dtype=np.uint8)
+
+    @property
+    def start(self):
+        return self.interval.start
+
+    @property
+    def end(self):
+        return self.interval.end
+
+    @property
+    def size(self):
+        return self.interval.size
+
+    def _page_range(self, interval):
+        first = (interval.start - self.start) // PAGE_SIZE
+        last = (page_ceil(interval.end) - self.start) // PAGE_SIZE
+        return first, last
+
+    def set_prot(self, interval, prot):
+        first, last = self._page_range(interval)
+        self.page_prots[first:last] = int(prot)
+
+    def prot_of(self, address):
+        return Prot(int(self.page_prots[(address - self.start) // PAGE_SIZE]))
+
+    def first_violation(self, interval, kind):
+        """Address of the first page lacking ``kind``'s required bit."""
+        first, last = self._page_range(interval)
+        required = int(kind.required_prot)
+        violations = (self.page_prots[first:last] & required) != required
+        index = int(np.argmax(violations)) if violations.any() else -1
+        if index < 0:
+            return None
+        page_start = self.start + (first + index) * PAGE_SIZE
+        return max(page_start, interval.start)
+
+    def slice(self, interval):
+        """Writable numpy view of the backing bytes for ``interval``."""
+        lo = interval.start - self.start
+        hi = interval.end - self.start
+        return self.backing[lo:hi]
+
+
+class AddressSpace:
+    """All mappings of one process, plus the software MMU."""
+
+    def __init__(self):
+        self._mappings = RangeMap()
+
+    def __len__(self):
+        return len(self._mappings)
+
+    def mappings(self):
+        return self._mappings.values()
+
+    # -- mmap / munmap / mprotect -------------------------------------------
+
+    def mmap(self, size, prot=Prot.RW, fixed_address=None):
+        """Create an anonymous mapping; returns the :class:`Mapping`.
+
+        With ``fixed_address`` the mapping must land exactly there
+        (MAP_FIXED_NOREPLACE semantics): any overlap raises
+        :class:`AllocationError`, which is the address-collision failure
+        mode Section 4.2 discusses for multi-accelerator systems.
+        """
+        if size <= 0:
+            raise AllocationError(f"mmap size must be positive, got {size}")
+        size = page_ceil(size)
+        if fixed_address is not None:
+            if fixed_address % PAGE_SIZE != 0:
+                raise AddressError(
+                    f"fixed mmap address {fixed_address:#x} is not page aligned"
+                )
+            interval = Interval.sized(fixed_address, size)
+            overlaps = self._mappings.overlapping(interval)
+            if overlaps:
+                raise AllocationError(
+                    f"fixed mmap at {interval} collides with {overlaps[0][0]}"
+                )
+        else:
+            interval = self._mappings.find_gap(
+                size, MMAP_BASE, USER_TOP, alignment=PAGE_SIZE
+            )
+            if interval is None:
+                raise AllocationError(f"address space exhausted for {size} bytes")
+        mapping = Mapping(interval.start, size, prot)
+        self._mappings.add(interval, mapping)
+        return mapping
+
+    def conflict_at(self, start, size):
+        """The first existing mapping overlapping [start, start+size), or
+        None when the range is free (used to negotiate a common virtual
+        range with a virtual-memory accelerator)."""
+        overlaps = self._mappings.overlapping(Interval.sized(start, size))
+        return overlaps[0][0] if overlaps else None
+
+    def munmap(self, start):
+        """Remove the mapping starting at ``start``."""
+        _, mapping = self._mappings.remove(start)
+        return mapping
+
+    def mprotect(self, address, size, prot):
+        """Change protections over ``[address, address+size)``.
+
+        The range must be page aligned and fall inside a single mapping —
+        the only pattern GMAC uses (a block never spans mappings).
+        """
+        if address % PAGE_SIZE != 0:
+            raise ProtectionError(f"mprotect address {address:#x} not page aligned")
+        interval = Interval.sized(address, page_ceil(size))
+        found = self._mappings.find(address)
+        if found is None or not found[0].contains_interval(interval):
+            raise ProtectionError(f"mprotect range {interval} is not mapped")
+        found[1].set_prot(interval, prot)
+
+    # -- the software MMU -----------------------------------------------------
+
+    def mapping_at(self, address):
+        """The mapping containing ``address`` or None."""
+        found = self._mappings.find(address)
+        return found[1] if found else None
+
+    def check(self, address, size, kind):
+        """Return the first faulting address for an access, or None.
+
+        Unmapped addresses fault at the first unmapped byte; mapped pages
+        fault where protection bits are missing.
+        """
+        if size <= 0:
+            raise ValueError(f"access size must be positive, got {size}")
+        cursor = address
+        end = address + size
+        while cursor < end:
+            mapping = self.mapping_at(cursor)
+            if mapping is None:
+                return cursor
+            span = Interval(cursor, min(end, mapping.end))
+            violation = mapping.first_violation(span, kind)
+            if violation is not None:
+                return violation
+            cursor = span.end
+        return None
+
+    def writable_prefix(self, address, size, kind):
+        """Byte count from ``address`` accessible for ``kind`` (maybe 0).
+
+        The process access loop uses this to commit the accessible prefix
+        of a large access before faulting on the rest — matching how real
+        hardware retires stores up to the faulting instruction.
+        """
+        fault = self.check(address, size, kind)
+        if fault is None:
+            return size
+        return fault - address
+
+    # -- privileged data access (no protection checks) ------------------------
+
+    def _require_mapped(self, address, size):
+        mapping = self.mapping_at(address)
+        if mapping is None or address + size > mapping.end:
+            raise AddressError(
+                f"access [{address:#x}, +{size:#x}) crosses unmapped memory"
+            )
+        return mapping
+
+    def peek(self, address, size):
+        """Read bytes ignoring protections (library-internal access)."""
+        mapping = self._require_mapped(address, size)
+        return bytes(mapping.slice(Interval.sized(address, size)))
+
+    def poke(self, address, data):
+        """Write bytes ignoring protections (library-internal access)."""
+        data = np.frombuffer(bytes(data), dtype=np.uint8)
+        mapping = self._require_mapped(address, len(data))
+        mapping.slice(Interval.sized(address, len(data)))[:] = data
+
+    def poke_fill(self, address, value, size):
+        """memset ignoring protections."""
+        mapping = self._require_mapped(address, size)
+        mapping.slice(Interval.sized(address, size))[:] = value & 0xFF
+
+    def view(self, address, dtype, count):
+        """Writable numpy view (privileged; used by oracles and the library)."""
+        dtype = np.dtype(dtype)
+        size = dtype.itemsize * count
+        mapping = self._require_mapped(address, size)
+        return mapping.slice(Interval.sized(address, size)).view(dtype)

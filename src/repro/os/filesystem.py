@@ -1,0 +1,133 @@
+"""A simulated filesystem over the disk model.
+
+Workload inputs (MRI samples, video frames, astronomical catalogues) are
+deterministic pseudo-random files; outputs are written back and can be
+asserted byte-for-byte against oracles.  Every read and write charges the
+disk timeline, which is what surfaces IORead/IOWrite in the Figure 10
+break-down and gives large sequential dumps their bandwidth advantage
+(the Figure 9 volume-write effect).
+"""
+
+import numpy as np
+
+from repro.util.errors import IoError
+
+
+class FileHandle:
+    """An open file with a position, in the POSIX style."""
+
+    def __init__(self, fs, path, mode):
+        if mode not in ("r", "w", "a"):
+            raise IoError(f"unsupported open mode {mode!r}")
+        self.fs = fs
+        self.path = path
+        self.mode = mode
+        self.closed = False
+        if mode == "w":
+            fs._files[path] = bytearray()
+        self.position = len(fs._files[path]) if mode == "a" else 0
+
+    def _require_open(self):
+        if self.closed:
+            raise IoError(f"operation on closed file {self.path!r}")
+
+    def read(self, size):
+        """Read up to ``size`` bytes from the current position."""
+        self._require_open()
+        if self.mode != "r":
+            raise IoError(f"file {self.path!r} not open for reading")
+        data = self.fs._files[self.path]
+        chunk = bytes(data[self.position:self.position + size])
+        self.position += len(chunk)
+        if chunk:
+            self.fs.disk.read(len(chunk), label=f"read:{self.path}")
+        return chunk
+
+    def write(self, data):
+        """Write bytes at the current position, extending the file."""
+        self._require_open()
+        if self.mode == "r":
+            raise IoError(f"file {self.path!r} not open for writing")
+        data = bytes(data)
+        buffer = self.fs._files[self.path]
+        end = self.position + len(data)
+        if end > len(buffer):
+            buffer.extend(b"\x00" * (end - len(buffer)))
+        buffer[self.position:end] = data
+        self.position = end
+        if data:
+            self.fs.disk.write(len(data), label=f"write:{self.path}")
+        return len(data)
+
+    def seek(self, position):
+        self._require_open()
+        if position < 0:
+            raise IoError(f"seek to negative position {position}")
+        self.position = position
+
+    def tell(self):
+        return self.position
+
+    def close(self):
+        self.closed = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
+class FileSystem:
+    """All files of the simulated machine."""
+
+    def __init__(self, disk):
+        self.disk = disk
+        self._files = {}
+
+    def create(self, path, data=b""):
+        """Create (or truncate) a file with explicit contents."""
+        self._files[path] = bytearray(bytes(data))
+
+    def create_random(self, path, size, seed=0, dtype=np.float32):
+        """Create a file of deterministic pseudo-random values.
+
+        Returns the numpy array written, so oracles can reuse it.
+        """
+        dtype = np.dtype(dtype)
+        if size % dtype.itemsize != 0:
+            raise IoError(
+                f"file size {size} is not a multiple of {dtype} item size"
+            )
+        rng = np.random.default_rng(seed)
+        values = rng.random(size // dtype.itemsize).astype(dtype)
+        self._files[path] = bytearray(values.tobytes())
+        return values
+
+    def exists(self, path):
+        return path in self._files
+
+    def size_of(self, path):
+        self._require(path)
+        return len(self._files[path])
+
+    def data_of(self, path):
+        """The raw bytes of a file (for test assertions; no disk charge)."""
+        self._require(path)
+        return bytes(self._files[path])
+
+    def unlink(self, path):
+        self._require(path)
+        del self._files[path]
+
+    def open(self, path, mode="r"):
+        if mode == "r":
+            self._require(path)
+        elif path not in self._files:
+            self._files[path] = bytearray()
+        return FileHandle(self, path, mode)
+
+    def _require(self, path):
+        if path not in self._files:
+            raise IoError(f"no such file: {path!r}")

@@ -1,0 +1,152 @@
+"""The C library veneer: I/O and bulk memory calls, with interposition.
+
+Section 4.4 of the paper describes two problems GMAC solves with library
+interposition:
+
+1. **Un-restartable I/O.**  A ``read()`` into a shared object faults when
+   the kernel's copy touches the next protected block; after any bytes have
+   been transferred the operating system cannot restart the call.  The
+   default implementations here reproduce that failure mode faithfully: a
+   fault *before* any progress is retried (the handler repairs the page),
+   but a fault *after* partial progress delivers the signal and then aborts
+   with :class:`IoError` — the data consumed from the file is lost.
+
+2. **Bulk memory over shared objects.**  Plain ``memset``/``memcpy`` would
+   fault block by block and stream every byte through the CPU; GMAC
+   overloads them to use accelerator-specific calls.
+
+GMAC installs its overloads through :meth:`Libc.interpose`; each overload
+receives the default implementation so it can forward non-shared ranges
+unchanged, exactly like symbol interposition with ``dlsym(RTLD_NEXT)``.
+"""
+
+from repro.util.errors import IoError, SegmentationFault
+from repro.sim.tracing import Category
+from repro.os.paging import AccessKind
+from repro.os.signals import SegvInfo
+
+
+class Libc:
+    """read/write/memset/memcpy against simulated memory and files."""
+
+    def __init__(self, process, filesystem, accounting=None):
+        self.process = process
+        self.filesystem = filesystem
+        self.accounting = accounting
+        self._impls = {
+            "read": self._read_default,
+            "write": self._write_default,
+            "memset": self._memset_default,
+            "memcpy": self._memcpy_default,
+        }
+
+    # -- interposition -----------------------------------------------------------
+
+    def interpose(self, name, factory):
+        """Replace implementation ``name`` with ``factory(default)``.
+
+        ``factory`` receives the current implementation and must return the
+        new one, mirroring how an LD_PRELOAD shim forwards to the real
+        symbol.  Returns the previous implementation for uninstalling.
+        """
+        if name not in self._impls:
+            raise ValueError(f"no interposable call named {name!r}")
+        previous = self._impls[name]
+        self._impls[name] = factory(previous)
+        return previous
+
+    def restore(self, name, implementation):
+        self._impls[name] = implementation
+
+    # -- public entry points -------------------------------------------------------
+
+    def read(self, handle, address, size):
+        """POSIX read(fd, buf, count) into simulated memory."""
+        return self._impls["read"](handle, address, size)
+
+    def write(self, handle, address, size):
+        """POSIX write(fd, buf, count) from simulated memory."""
+        return self._impls["write"](handle, address, size)
+
+    def memset(self, address, value, size):
+        return self._impls["memset"](address, value, size)
+
+    def memcpy(self, destination, source, size):
+        return self._impls["memcpy"](destination, source, size)
+
+    # -- default implementations -----------------------------------------------------
+
+    def _measure(self, category):
+        if self.accounting is not None:
+            return self.accounting.measure(category)
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    def _copy_with_syscall_semantics(self, address, size, kind, commit):
+        """The kernel's user-memory copy loop: restartable only at offset 0."""
+        space = self.process.address_space
+        copied = 0
+        while copied < size:
+            cursor = address + copied
+            accessible = space.writable_prefix(cursor, size - copied, kind)
+            if accessible > 0:
+                commit(copied, accessible)
+                copied += accessible
+                continue
+            self.process.signals.deliver(SegvInfo(cursor, kind))
+            if copied > 0:
+                # Progress was made: the in-flight operation cannot be
+                # restarted (Section 4.4).  The handler already ran, but the
+                # consumed data is gone.
+                raise IoError(
+                    f"I/O aborted by page fault at {cursor:#x} after "
+                    f"{copied} of {size} bytes (operation is not restartable)"
+                )
+            if space.writable_prefix(cursor, size - copied, kind) == 0:
+                raise SegmentationFault(cursor, kind)
+        return copied
+
+    def _read_default(self, handle, address, size):
+        with self._measure(Category.IO_READ):
+            data = handle.read(size)
+
+            def commit(offset, length):
+                self.process.address_space.poke(
+                    address + offset, data[offset:offset + length]
+                )
+
+            return self._copy_with_syscall_semantics(
+                address, len(data), AccessKind.WRITE, commit
+            )
+
+    def _write_default(self, handle, address, size):
+        with self._measure(Category.IO_WRITE):
+            chunks = []
+
+            def commit(offset, length):
+                chunks.append(
+                    self.process.address_space.peek(address + offset, length)
+                )
+
+            self._copy_with_syscall_semantics(
+                address, size, AccessKind.READ, commit
+            )
+            return handle.write(b"".join(chunks))
+
+    def _memset_default(self, address, value, size):
+        with self._measure(Category.CPU):
+            self.process.fill(address, value, size)
+            self.process.machine.clock.advance(
+                self.process.machine.cpu.spec.touch_seconds(size)
+            )
+        return address
+
+    def _memcpy_default(self, destination, source, size):
+        with self._measure(Category.CPU):
+            data = self.process.read(source, size)
+            self.process.write(destination, data)
+            self.process.machine.clock.advance(
+                self.process.machine.cpu.spec.touch_seconds(2 * size)
+            )
+        return destination

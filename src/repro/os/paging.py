@@ -1,0 +1,52 @@
+"""Pages, protection bits and access kinds.
+
+The simulated MMU works at 4KB page granularity, like the x86 hosts in the
+paper's testbed.  GMAC's lazy-update protocol protects whole objects and
+rolling-update protects fixed-size blocks; both express protections as page
+ranges through ``mprotect``.
+"""
+
+import enum
+
+#: 4KB, the x86 base page size and the smallest block size in Figure 11.
+PAGE_SIZE = 4096
+
+
+class Prot(enum.IntFlag):
+    """mprotect-style protection bits."""
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+    RW = READ | WRITE
+
+
+class AccessKind(enum.Enum):
+    """What a faulting access was trying to do."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def required_prot(self):
+        if self is AccessKind.READ:
+            return Prot.READ
+        return Prot.WRITE
+
+    def __str__(self):
+        return self.value
+
+
+def page_floor(address):
+    """Round an address down to its page boundary."""
+    return address - (address % PAGE_SIZE)
+
+
+def page_ceil(address):
+    """Round an address up to the next page boundary."""
+    return -(-address // PAGE_SIZE) * PAGE_SIZE
+
+
+def page_index(base, address):
+    """Index of the page containing ``address`` within a mapping at ``base``."""
+    return (address - base) // PAGE_SIZE

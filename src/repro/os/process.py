@@ -1,0 +1,167 @@
+"""Processes: the CPU-side access path every load and store goes through.
+
+On real hardware a store to a protected page traps, the handler repairs the
+page, and the store retries.  :meth:`Process.write`/:meth:`Process.read`
+model that loop for bulk accesses: the accessible prefix commits, the first
+violation raises a SIGSEGV through the dispatcher, and the access resumes
+where it faulted.  Committing the prefix (rather than re-checking the whole
+range) is essential: rolling-update may demote an *earlier* block to
+read-only while handling a fault on a *later* one, and sequential CPU code
+must not re-trip on the demoted block.
+
+A fault the handler fails to repair (the page is still inaccessible on
+retry) is a crash, raised as :class:`SegmentationFault`.
+"""
+
+import numpy as np
+
+from repro.util.errors import SegmentationFault
+from repro.os.paging import Prot, AccessKind, page_ceil
+from repro.os.address_space import AddressSpace
+from repro.os.signals import SegvInfo, SignalDispatcher
+
+
+class Process:
+    """One simulated process: address space + signal handling + heap."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.address_space = AddressSpace()
+        self.signals = SignalDispatcher(
+            machine.clock, accounting=machine.accounting
+        )
+
+    # -- heap ------------------------------------------------------------------
+
+    def malloc(self, size):
+        """Allocate ordinary (non-shared) memory; returns a :class:`Ptr`."""
+        mapping = self.address_space.mmap(page_ceil(max(size, 1)), Prot.RW)
+        return Ptr(self, mapping.start)
+
+    def free(self, ptr):
+        """Release memory obtained from :meth:`malloc`."""
+        self.address_space.munmap(int(ptr))
+
+    # -- the fault/retry access loop --------------------------------------------
+
+    def _advance_through(self, address, size, kind, commit=None):
+        """Walk an access range, committing prefixes and faulting as needed.
+
+        ``commit(offset, length)`` is invoked for each accessible chunk, in
+        order.  Returns only when the whole range has been covered.
+        """
+        space = self.address_space
+        offset = 0
+        while offset < size:
+            cursor = address + offset
+            remaining = size - offset
+            accessible = space.writable_prefix(cursor, remaining, kind)
+            if accessible > 0:
+                if commit is not None:
+                    commit(offset, accessible)
+                offset += accessible
+                continue
+            fault_address = cursor
+            self.signals.deliver(SegvInfo(fault_address, kind))
+            # The handler must have repaired the faulting page; a second
+            # fault at the same byte means it did not.
+            if space.writable_prefix(cursor, remaining, kind) == 0:
+                raise SegmentationFault(
+                    fault_address,
+                    kind,
+                    message=f"unrepaired {kind} fault at {fault_address:#x}",
+                )
+
+    def touch(self, address, size, kind):
+        """Fault in a range without moving data (pre-faulting)."""
+        self._advance_through(address, size, kind)
+
+    def read(self, address, size):
+        """Protection-checked bulk read; returns bytes."""
+        chunks = []
+
+        def commit(offset, length):
+            chunks.append(self.address_space.peek(address + offset, length))
+
+        self._advance_through(address, size, AccessKind.READ, commit)
+        return b"".join(chunks)
+
+    def write(self, address, data):
+        """Protection-checked bulk write, committing progressively."""
+        data = bytes(data)
+
+        def commit(offset, length):
+            self.address_space.poke(address + offset, data[offset:offset + length])
+
+        self._advance_through(address, len(data), AccessKind.WRITE, commit)
+
+    def fill(self, address, value, size):
+        """Protection-checked memset."""
+
+        def commit(offset, length):
+            self.address_space.poke_fill(address + offset, value, length)
+
+        self._advance_through(address, size, AccessKind.WRITE, commit)
+
+    # -- typed helpers -----------------------------------------------------------
+
+    def read_array(self, address, dtype, count):
+        """Protection-checked read returning a numpy array copy."""
+        dtype = np.dtype(dtype)
+        raw = self.read(address, dtype.itemsize * count)
+        return np.frombuffer(raw, dtype=dtype).copy()
+
+    def write_array(self, address, array):
+        """Protection-checked write of a numpy array's bytes."""
+        array = np.ascontiguousarray(array)
+        self.write(address, array.tobytes())
+
+
+class Ptr:
+    """A typed-pointer convenience over a process address.
+
+    Workloads manipulate simulated memory exclusively through these, so all
+    of their accesses flow through the protection-checked path and drive
+    GMAC's fault-based protocols.
+    """
+
+    __slots__ = ("process", "addr")
+
+    def __init__(self, process, addr):
+        self.process = process
+        self.addr = addr
+
+    def __int__(self):
+        return self.addr
+
+    def __index__(self):
+        return self.addr
+
+    def __add__(self, offset):
+        return type(self)(self.process, self.addr + offset)
+
+    def __eq__(self, other):
+        return isinstance(other, Ptr) and (
+            self.process is other.process and self.addr == other.addr
+        )
+
+    def __hash__(self):
+        return hash((id(self.process), self.addr))
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.addr:#x})"
+
+    def read_bytes(self, size, offset=0):
+        return self.process.read(self.addr + offset, size)
+
+    def write_bytes(self, data, offset=0):
+        self.process.write(self.addr + offset, data)
+
+    def read_array(self, dtype, count, offset=0):
+        return self.process.read_array(self.addr + offset, dtype, count)
+
+    def write_array(self, array, offset=0):
+        self.process.write_array(self.addr + offset, array)
+
+    def fill(self, value, size, offset=0):
+        self.process.fill(self.addr + offset, value, size)

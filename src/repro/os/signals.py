@@ -1,0 +1,64 @@
+"""SIGSEGV dispatch to user-level handlers.
+
+Lazy- and rolling-update detect CPU accesses "using the CPU hardware memory
+protection mechanisms ... to trigger a page fault exception (delivered as a
+POSIX signal to user-level)" (Section 4.3).  The dispatcher models the
+kernel's part of that path: it charges a fixed delivery overhead, counts
+deliveries, and invokes the registered handler.  A handler must return True
+to claim the fault; an unclaimed fault is a crash
+(:class:`~repro.util.errors.SegmentationFault`), as it would be for an
+application bug.
+"""
+
+from dataclasses import dataclass
+
+from repro.util.errors import SegmentationFault
+from repro.sim.tracing import Category
+
+
+@dataclass(frozen=True)
+class SegvInfo:
+    """What the kernel tells the handler: faulting address and access kind."""
+
+    address: int
+    access: object  # AccessKind
+
+
+class SignalDispatcher:
+    """Delivers simulated SIGSEGVs to registered user-level handlers."""
+
+    #: Kernel-side cost of taking the fault and delivering the signal
+    #: (trap, signal frame setup, sigreturn).  Charged per delivery.
+    DELIVERY_OVERHEAD_S = 0.5e-6
+
+    def __init__(self, clock, accounting=None, overhead_s=None):
+        self.clock = clock
+        self.accounting = accounting
+        self.overhead_s = (
+            self.DELIVERY_OVERHEAD_S if overhead_s is None else overhead_s
+        )
+        self._handlers = []
+        self.delivered = 0
+        self.unhandled = 0
+
+    def register(self, handler):
+        """Install a handler; later registrations run first (like chaining)."""
+        self._handlers.insert(0, handler)
+        return handler
+
+    def unregister(self, handler):
+        self._handlers.remove(handler)
+
+    def deliver(self, info):
+        """Deliver one SIGSEGV; raise if nobody claims it."""
+        self.delivered += 1
+        self.clock.advance(self.overhead_s)
+        if self.accounting is not None:
+            self.accounting.charge(
+                Category.SIGNAL, self.overhead_s, label="signal-delivery"
+            )
+        for handler in self._handlers:
+            if handler(info):
+                return
+        self.unhandled += 1
+        raise SegmentationFault(info.address, info.access)

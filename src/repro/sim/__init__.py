@@ -1,0 +1,27 @@
+"""Virtual-time simulation substrate.
+
+The paper measures wall-clock time on real hardware; this reproduction runs
+on a virtual clock.  The substrate has three pieces:
+
+* :class:`~repro.sim.clock.SimClock` -- monotonically advancing virtual time,
+* :class:`~repro.sim.resource.Resource` -- a serialized device timeline
+  (a PCIe direction, the GPU, the disk) on which synchronous and
+  asynchronous operations are scheduled; asynchronous operations return
+  :class:`~repro.sim.resource.Completion` handles, which is how DMA/compute
+  overlap (rolling-update's eager eviction) is modelled,
+* :class:`~repro.sim.tracing.TimeAccounting` -- per-category accounting that
+  regenerates the Figure 10 execution-time break-down.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.resource import Resource, Completion
+from repro.sim.tracing import TimeAccounting, Category, TraceLog
+
+__all__ = [
+    "SimClock",
+    "Resource",
+    "Completion",
+    "TimeAccounting",
+    "Category",
+    "TraceLog",
+]

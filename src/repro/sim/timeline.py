@@ -1,0 +1,116 @@
+"""ASCII execution timelines.
+
+Renders what the virtual machine actually did — CPU category activity from
+the :class:`~repro.sim.tracing.TraceLog` and device occupancy from resource
+histories — as a Gantt-style ASCII chart.  This is the visual counterpart
+of the Figure 11 discussion: eager evictions visibly overlapping CPU
+production, kernels starting only after the H2D queue drains.
+"""
+
+from repro.sim.tracing import Category
+
+
+class TimelineRow:
+    """One labelled row of busy intervals."""
+
+    def __init__(self, label):
+        self.label = label
+        self.intervals = []  # (start, end)
+
+    def add(self, start, end):
+        if end > start:
+            self.intervals.append((start, end))
+
+    @property
+    def busy_time(self):
+        return sum(end - start for start, end in self.intervals)
+
+
+def rows_from_trace(trace, categories=None):
+    """One row per accounting category present in a TraceLog."""
+    wanted = categories or list(Category)
+    rows = []
+    for category in wanted:
+        events = trace.by_category(category)
+        if not events:
+            continue
+        row = TimelineRow(str(category))
+        for event in events:
+            row.add(event.start, event.start + event.duration)
+        rows.append(row)
+    return rows
+
+
+def rows_from_resources(resources):
+    """One row per resource, from recorded completion histories."""
+    rows = []
+    for resource in resources:
+        if not resource.completions:
+            continue
+        row = TimelineRow(resource.name)
+        for completion in resource.completions:
+            row.add(completion.start, completion.finish)
+        rows.append(row)
+    return rows
+
+
+def render_timeline(rows, width=72, start=None, end=None, title=None):
+    """Render rows of intervals as an ASCII Gantt chart.
+
+    Each column is one time bucket; ``#`` marks a bucket in which the row
+    was busy for more than half the bucket, ``-`` for a touched bucket.
+    """
+    rows = [row for row in rows if row.intervals]
+    if not rows:
+        raise ValueError("nothing to render: no busy intervals")
+    if start is None:
+        start = min(interval[0] for row in rows for interval in row.intervals)
+    if end is None:
+        end = max(interval[1] for row in rows for interval in row.intervals)
+    if end <= start:
+        raise ValueError(f"empty time window [{start}, {end}]")
+    bucket = (end - start) / width
+    label_width = max(len(row.label) for row in rows) + 1
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row in rows:
+        cells = [" "] * width
+        for interval_start, interval_end in row.intervals:
+            first = int((interval_start - start) / bucket)
+            last = int((interval_end - start) / bucket - 1e-12)
+            for index in range(max(0, first), min(width - 1, last) + 1):
+                bucket_start = start + index * bucket
+                bucket_end = bucket_start + bucket
+                overlap = min(interval_end, bucket_end) - max(
+                    interval_start, bucket_start
+                )
+                if overlap > 0.5 * bucket:
+                    cells[index] = "#"
+                elif cells[index] == " ":
+                    cells[index] = "-"
+        busy_percent = 100.0 * row.busy_time / (end - start)
+        lines.append(
+            f"{row.label.rjust(label_width)} |{''.join(cells)}| "
+            f"{busy_percent:5.1f}%"
+        )
+    scale = (
+        " " * label_width
+        + f"  {start * 1e3:.3f}ms"
+        + " " * max(1, width - 24)
+        + f"{end * 1e3:.3f}ms"
+    )
+    lines.append(scale)
+    return "\n".join(lines)
+
+
+def machine_timeline(machine, width=72, title=None):
+    """Convenience: timeline of a traced machine's CPU-side categories.
+
+    Requires the machine to have been built with ``trace=True``.
+    """
+    if machine.trace is None:
+        raise ValueError("machine was not built with trace=True")
+    rows = rows_from_trace(machine.trace)
+    return render_timeline(rows, width=width, title=title)

@@ -1,0 +1,138 @@
+"""Per-category time accounting and event tracing.
+
+Figure 10 of the paper breaks application execution time down into thirteen
+categories (Copy, Malloc, Free, Launch, Sync, Signal, cudaMalloc, cudaFree,
+cudaLaunch, GPU, IORead, IOWrite, CPU).  :class:`TimeAccounting` charges
+virtual-time intervals to those categories; GMAC, the CUDA layer, the OS
+and the workloads all charge into the same accounting object so the
+break-down is regenerated from actual execution rather than estimated.
+"""
+
+import enum
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+class Category(enum.Enum):
+    """Execution-time categories, named after Figure 10's legend."""
+
+    COPY = "Copy"                  # GMAC-initiated data transfers
+    MALLOC = "Malloc"              # adsmAlloc bookkeeping (incl. mmap)
+    FREE = "Free"                  # adsmFree bookkeeping
+    LAUNCH = "Launch"              # adsmCall (minus the cudaLaunch part)
+    SYNC = "Sync"                  # adsmSync wait time
+    SIGNAL = "Signal"              # page-fault signal handling
+    CUDA_MALLOC = "cudaMalloc"
+    CUDA_FREE = "cudaFree"
+    CUDA_LAUNCH = "cudaLaunch"
+    GPU = "GPU"                    # kernel execution the CPU waits for
+    IO_READ = "IORead"
+    IO_WRITE = "IOWrite"
+    CPU = "CPU"                    # application compute on the CPU
+
+    def __str__(self):
+        return self.value
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event: a charged interval with a label."""
+
+    category: Category
+    label: str
+    start: float
+    duration: float
+
+
+class TraceLog:
+    """An optional append-only log of charged intervals."""
+
+    def __init__(self):
+        self.events = []
+
+    def record(self, event):
+        self.events.append(event)
+
+    def by_category(self, category):
+        return [event for event in self.events if event.category is category]
+
+    def __len__(self):
+        return len(self.events)
+
+
+class TimeAccounting:
+    """Charges virtual-time durations to Figure 10 categories.
+
+    Two charging styles exist:
+
+    * ``charge(category, seconds)`` for durations known a priori (a resource
+      completion's duration, an async transfer the CPU never waits for),
+    * ``measure(category)`` as a context manager that charges the clock
+      delta across a code region (fault handlers, bookkeeping).
+
+    ``measure`` regions may nest; inner regions subtract their time from the
+    enclosing region so each virtual second is charged exactly once, which
+    keeps the break-down summing to total execution time.
+    """
+
+    def __init__(self, clock, trace=None):
+        self.clock = clock
+        self.totals = {category: 0.0 for category in Category}
+        self.counts = {category: 0 for category in Category}
+        self.trace = trace
+        self._stack = []
+
+    def charge(self, category, seconds, label=""):
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time {seconds}")
+        self.totals[category] += seconds
+        self.counts[category] += 1
+        if self._stack:
+            # Time explicitly charged inside a measured region should not be
+            # double counted against the enclosing category.
+            self._stack[-1][1] += seconds
+        if self.trace is not None:
+            self.trace.record(
+                TraceEvent(category, label, self.clock.now, seconds)
+            )
+
+    @contextmanager
+    def measure(self, category, label=""):
+        frame = [self.clock.now, 0.0]  # [start, time claimed by inner scopes]
+        self._stack.append(frame)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            elapsed = self.clock.now - frame[0]
+            charged = max(0.0, elapsed - frame[1])
+            self.totals[category] += charged
+            self.counts[category] += 1
+            if self._stack:
+                self._stack[-1][1] += elapsed
+            if self.trace is not None:
+                self.trace.record(
+                    TraceEvent(category, label, frame[0], charged)
+                )
+
+    def total(self):
+        return sum(self.totals.values())
+
+    def fractions(self):
+        """Per-category fraction of the accounted time (Figure 10's y-axis)."""
+        total = self.total()
+        if total <= 0:
+            return {category: 0.0 for category in Category}
+        return {
+            category: value / total for category, value in self.totals.items()
+        }
+
+    def breakdown(self):
+        """A plain dict (category-name -> seconds) for reports and tests."""
+        return {str(category): value for category, value in self.totals.items()}
+
+    def merge(self, other):
+        """Accumulate another accounting into this one (for aggregates)."""
+        for category in Category:
+            self.totals[category] += other.totals[category]
+            self.counts[category] += other.counts[category]

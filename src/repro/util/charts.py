@@ -1,0 +1,97 @@
+"""ASCII line charts for figure-shaped experiment output.
+
+The paper's Figures 9, 11 and 12 are log-scale line plots; the experiment
+CLI can render the regenerated series the same way (``--chart``).  The
+renderer is deterministic (no terminal queries), so tests can assert on
+its output.
+"""
+
+import math
+
+#: Glyphs assigned to series, in order.
+MARKERS = "o*x+#@%&"
+
+
+def _log_positions(values, height):
+    finite = [v for v in values if v > 0]
+    if not finite:
+        return lambda value: 0
+    low = min(finite)
+    high = max(finite)
+    span = math.log10(high / low) if high > low else 1.0
+
+    def position(value):
+        if value <= 0:
+            return 0
+        return round((math.log10(value / low) / span) * (height - 1))
+
+    return position
+
+
+def render_chart(x_labels, series, height=12, title=None, y_label=""):
+    """Render named series over shared x labels as a log-scale ASCII chart.
+
+    ``series`` is a dict name -> list of y values (same length as
+    ``x_labels``).  Values must be positive (log scale); zeros plot on the
+    bottom row.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    points = len(x_labels)
+    for name, values in series.items():
+        if len(values) != points:
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, expected {points}"
+            )
+    all_values = [v for values in series.values() for v in values]
+    position = _log_positions(all_values, height)
+
+    grid = [[" "] * points for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, value in enumerate(values):
+            y = min(height - 1, max(0, position(value)))
+            row = height - 1 - y
+            grid[row][x] = marker if grid[row][x] == " " else "!"
+
+    finite = [v for v in all_values if v > 0]
+    top = max(finite) if finite else 1.0
+    bottom = min(finite) if finite else 1.0
+
+    lines = []
+    if title:
+        lines.append(title)
+    column_width = max(max(len(str(label)) for label in x_labels), 3) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = f"{top:10.4g} |"
+        elif row_index == height - 1:
+            prefix = f"{bottom:10.4g} |"
+        else:
+            prefix = " " * 10 + " |"
+        cells = "".join(cell.center(column_width) for cell in row)
+        lines.append(prefix + cells)
+    axis = " " * 10 + " +" + "-" * (column_width * points)
+    lines.append(axis)
+    labels = " " * 12 + "".join(
+        str(label).center(column_width) for label in x_labels
+    )
+    lines.append(labels)
+    legend = "  ".join(
+        f"{MARKERS[i % len(MARKERS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend + (f"   [log scale, {y_label}]" if y_label else "   [log scale]"))
+    return "\n".join(lines)
+
+
+def chart_from_result(result, x_header, y_headers, height=12):
+    """Build a chart straight from an ExperimentResult's columns."""
+    x_labels = result.column(x_header)
+    series = {}
+    for header in y_headers:
+        series[header] = [float(v) for v in result.column(header)]
+    return render_chart(
+        x_labels, series, height=height,
+        title=f"{result.experiment_id}: {result.title}",
+    )

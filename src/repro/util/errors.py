@@ -1,0 +1,49 @@
+"""Exception hierarchy for the reproduction.
+
+Every error raised by the simulated hardware, OS, CUDA layer or GMAC is a
+subclass of :class:`ReproError`, so callers can catch the whole family with
+one clause while tests can assert on precise subclasses.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class AddressError(ReproError):
+    """An address is outside any mapping or otherwise malformed."""
+
+
+class AllocationError(ReproError):
+    """An allocator could not satisfy a request (OOM, bad size, collision)."""
+
+
+class ProtectionError(ReproError):
+    """An mprotect-style request was malformed (unaligned, unmapped)."""
+
+
+class SegmentationFault(ReproError):
+    """An unhandled access violation.
+
+    Raised when the simulated MMU detects an access that violates page
+    protections and no signal handler is registered (or the handler did not
+    repair the protections, so the retried access faults again).
+    """
+
+    def __init__(self, address, access, message=""):
+        self.address = address
+        self.access = access
+        detail = message or f"{access} access to {address:#x}"
+        super().__init__(f"segmentation fault: {detail}")
+
+
+class IoError(ReproError):
+    """A simulated filesystem or libc I/O operation failed."""
+
+
+class CudaError(ReproError):
+    """An error from the simulated CUDA driver or runtime."""
+
+
+class GmacError(ReproError):
+    """An error from the GMAC library itself (bad pointer, double free...)."""

@@ -1,0 +1,63 @@
+"""Summary statistics over repeated experiment runs.
+
+The paper runs each benchmark 16 times and reports averages; our virtual-time
+simulator is deterministic per seed, so experiments run a small number of
+seeded repetitions and report the same aggregate shape.
+"""
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Mean / stdev / extrema of a sequence of measurements."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    @property
+    def relative_stdev(self):
+        if self.mean == 0:
+            return 0.0
+        return self.stdev / abs(self.mean)
+
+    def __str__(self):
+        return (
+            f"mean={self.mean:.6g} stdev={self.stdev:.3g} "
+            f"min={self.minimum:.6g} max={self.maximum:.6g} n={self.count}"
+        )
+
+
+def summarize(values):
+    """Compute :class:`RunStats` for a non-empty sequence of numbers."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot summarize an empty sequence")
+    count = len(values)
+    mean = sum(values) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (count - 1)
+    else:
+        variance = 0.0
+    return RunStats(
+        count=count,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+def geometric_mean(values):
+    """Geometric mean, the conventional aggregate for slow-down ratios."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot take the geometric mean of nothing")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    log_sum = sum(math.log(v) for v in values)
+    return math.exp(log_sum / len(values))

@@ -1,0 +1,16 @@
+"""Workloads: the programs the paper's evaluation runs.
+
+* :mod:`repro.workloads.base` -- the dual-mode harness: every workload has
+  a hand-tuned CUDA-style variant (explicit ``cudaMemcpy``) and a GMAC
+  variant (no copies), both validated against a pure-numpy oracle,
+* :mod:`repro.workloads.vecadd` -- the Figure 11 vector-add micro-benchmark,
+* :mod:`repro.workloads.stencil3d` -- the Figure 9 3D-Stencil computation,
+* :mod:`repro.workloads.parboil` -- the seven Parboil-like benchmarks of
+  Table 2 (cp, mri-fhd, mri-q, pns, rpes, sad, tpacf),
+* :mod:`repro.workloads.npb` -- the NPB trace/bandwidth model behind
+  Figure 2 and the Section 2.2 motivation numbers.
+"""
+
+from repro.workloads.base import Application, Workload, WorkloadResult
+
+__all__ = ["Application", "Workload", "WorkloadResult"]

@@ -1,0 +1,200 @@
+"""The dual-mode workload harness.
+
+Every workload in the evaluation exists in two source variants, exactly as
+in the paper's porting experiment (Section 5):
+
+* **cuda mode** — the hand-tuned baseline: explicit ``cudaMalloc`` /
+  ``cudaMemcpy`` calls, duplicated pointers, manual coherence;
+* **gmac mode** — the ADSM port: a single ``adsmAlloc`` pointer per object
+  and *no* explicit transfers (the port only removes lines).
+
+Both variants share the kernels and are validated against a pure-numpy
+oracle, so a protocol bug shows up as a numerical mismatch, not just a
+timing anomaly.  :meth:`Workload.execute` runs one variant on a fresh
+machine and returns a :class:`WorkloadResult` with the virtual time, the
+Figure 10 break-down and the Figure 8 byte counters.
+"""
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.errors import ReproError
+from repro.hw.machine import reference_system
+from repro.hw.interconnect import Direction
+from repro.os.process import Process
+from repro.os.filesystem import FileSystem
+from repro.os.libc import Libc
+from repro.cuda.runtime import CudaRuntime
+from repro.core.api import Gmac
+
+
+class Application:
+    """Process + filesystem + libc: the environment one run executes in."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.process = Process(machine)
+        self.fs = FileSystem(machine.disk)
+        self.libc = Libc(self.process, self.fs, machine.accounting)
+
+    def gmac(self, **kwargs):
+        """Create a GMAC instance bound to this application."""
+        return Gmac(self.machine, self.process, libc=self.libc, **kwargs)
+
+    def cuda(self, **kwargs):
+        """Create a CUDA runtime bound to this application."""
+        return CudaRuntime(self.machine, self.process, **kwargs)
+
+
+@dataclass
+class WorkloadResult:
+    """Everything one run produced."""
+
+    workload: str
+    mode: str                     # "cuda" or "gmac"
+    protocol: str                 # coherence protocol ("-" for cuda mode)
+    elapsed: float                # virtual seconds, end to end
+    breakdown: dict               # Figure 10 category -> seconds
+    bytes_to_accelerator: int     # Figure 8, host -> accelerator
+    bytes_to_host: int            # Figure 8, accelerator -> host
+    faults: int                   # page faults GMAC handled
+    signals: int                  # SIGSEGVs delivered by the OS
+    verified: bool                # outputs matched the numpy oracle
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def label(self):
+        if self.mode == "cuda":
+            return "CUDA"
+        return f"GMAC {self.protocol}"
+
+
+class Workload(abc.ABC):
+    """One benchmark: two variants, one oracle, deterministic inputs."""
+
+    #: Short Parboil-style name ("cp", "mri-q", ...).
+    name = "abstract"
+    #: Table 2 style description.
+    description = ""
+
+    def __init__(self, seed=7):
+        self.seed = seed
+
+    # -- hooks ---------------------------------------------------------------------
+
+    def prepare(self, app):
+        """Create input files / oracle state.  Runs before the clock matters
+        (file creation charges no disk time; only reads do)."""
+
+    @abc.abstractmethod
+    def run_cuda(self, app):
+        """The explicit-transfer variant; returns outputs for verification."""
+
+    @abc.abstractmethod
+    def run_gmac(self, app, gmac):
+        """The ADSM variant; returns outputs for verification."""
+
+    @abc.abstractmethod
+    def reference(self):
+        """Pure-numpy oracle outputs (dict name -> array)."""
+
+    # -- driver -----------------------------------------------------------------------
+
+    def execute(self, mode="gmac", protocol="rolling", machine=None,
+                gmac_options=None):
+        """Run one variant on a fresh machine; returns a WorkloadResult."""
+        if machine is None:
+            machine = reference_system()
+        app = Application(machine)
+        self.prepare(app)
+        start = machine.clock.now
+        if mode == "gmac":
+            gmac = app.gmac(protocol=protocol, **(gmac_options or {}))
+            outputs = self.run_gmac(app, gmac)
+        else:
+            # "cuda" plus any extra hand-tuned variants a workload defines
+            # (e.g. "cuda-db" -> run_cuda_db, the double-buffered baseline).
+            variant = getattr(self, "run_" + mode.replace("-", "_"), None)
+            if variant is None:
+                raise ReproError(f"unknown workload mode {mode!r}")
+            outputs = variant(app)
+            gmac = None
+        elapsed = machine.clock.now - start
+        verified = self._verify(outputs)
+        return WorkloadResult(
+            workload=self.name,
+            mode=mode,
+            protocol=protocol if mode == "gmac" else "-",
+            elapsed=elapsed,
+            breakdown=machine.accounting.breakdown(),
+            bytes_to_accelerator=(
+                gmac.bytes_to_accelerator if gmac is not None
+                else machine.link.bytes_moved[Direction.H2D]
+            ),
+            bytes_to_host=(
+                gmac.bytes_to_host if gmac is not None
+                else machine.link.bytes_moved[Direction.D2H]
+            ),
+            faults=gmac.fault_count if gmac is not None else 0,
+            signals=app.process.signals.delivered,
+            verified=verified,
+            extra={"machine": machine, "app": app},
+        )
+
+    def execute_stats(self, runs=3, mode="gmac", protocol="rolling",
+                      gmac_options=None):
+        """Repeated execution with varied seeds; summary statistics.
+
+        The paper executes each benchmark 16 times and reports averages;
+        the simulator is deterministic per seed, so repetition varies the
+        workload seed instead and summarizes elapsed virtual time.
+        """
+        from repro.util.stats import summarize
+
+        if runs < 1:
+            raise ReproError(f"need at least one run, got {runs}")
+        elapsed = []
+        results = []
+        for repetition in range(runs):
+            workload = type(self)(**self._repeat_params(repetition))
+            result = workload.execute(
+                mode=mode, protocol=protocol, gmac_options=gmac_options
+            )
+            if not result.verified:
+                raise ReproError(
+                    f"{self.name} run {repetition} failed verification"
+                )
+            elapsed.append(result.elapsed)
+            results.append(result)
+        return summarize(elapsed), results
+
+    def _repeat_params(self, repetition):
+        """Constructor kwargs for repetition N: same sizes, varied seed.
+
+        Works for any workload whose constructor parameters are stored as
+        same-named attributes (all of ours are); override otherwise.
+        """
+        import inspect
+
+        params = {}
+        for name in inspect.signature(type(self).__init__).parameters:
+            if name != "self" and hasattr(self, name):
+                params[name] = getattr(self, name)
+        params["seed"] = self.seed + repetition
+        return params
+
+    def _verify(self, outputs):
+        expected = self.reference()
+        for key, reference_value in expected.items():
+            if key not in outputs:
+                return False
+            produced = np.asarray(outputs[key])
+            reference_value = np.asarray(reference_value)
+            if produced.shape != reference_value.shape:
+                return False
+            if not np.allclose(produced, reference_value,
+                               rtol=1e-4, atol=1e-5):
+                return False
+        return True

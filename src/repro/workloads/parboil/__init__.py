@@ -1,0 +1,38 @@
+"""The Parboil-like benchmark suite (Table 2 of the paper).
+
+Seven workloads with the same structure as the Parboil originals the paper
+evaluates: the I/O mix, kernel-call counts and CPU access patterns that
+drive Figures 7, 8, 10 and 12 — scaled to simulator-friendly sizes (each
+class documents its scaling).  Every benchmark has a CUDA-style and a GMAC
+variant plus a numpy oracle (see :mod:`repro.workloads.base`).
+"""
+
+from repro.workloads.parboil.cp import CoulombicPotential
+from repro.workloads.parboil.mrifhd import MriFhd
+from repro.workloads.parboil.mriq import MriQ
+from repro.workloads.parboil.pns import PetriNet
+from repro.workloads.parboil.rpes import RysPolynomial
+from repro.workloads.parboil.sad import SumAbsoluteDifferences
+from repro.workloads.parboil.tpacf import Tpacf
+
+#: The suite in the paper's figure order.
+PARBOIL = {
+    "cp": CoulombicPotential,
+    "mri-fhd": MriFhd,
+    "mri-q": MriQ,
+    "pns": PetriNet,
+    "rpes": RysPolynomial,
+    "sad": SumAbsoluteDifferences,
+    "tpacf": Tpacf,
+}
+
+__all__ = [
+    "CoulombicPotential",
+    "MriFhd",
+    "MriQ",
+    "PetriNet",
+    "RysPolynomial",
+    "SumAbsoluteDifferences",
+    "Tpacf",
+    "PARBOIL",
+]

@@ -1,0 +1,48 @@
+"""Shared math for the two MRI reconstruction benchmarks (mri-fhd, mri-q).
+
+Both compute sums over k-space samples of sin/cos phase terms against voxel
+coordinates in non-Cartesian 3D MRI reconstruction; mri-fhd weights them by
+the image-specific data (phiR, phiI), mri-q by the scanner configuration
+magnitude (Table 2).
+"""
+
+import numpy as np
+
+TWO_PI = np.float32(2.0 * np.pi)
+
+
+def phase_matrix(k_coords, voxels):
+    """arg[k, v] = 2*pi * (k . x) for sample rows and voxel rows."""
+    return TWO_PI * (
+        k_coords.astype(np.float32) @ voxels.astype(np.float32).T
+    )
+
+
+def fhd_reference(k_coords, phi_r, phi_i, voxels):
+    """(rFhD, iFhD) per voxel."""
+    arg = phase_matrix(k_coords, voxels)
+    cos_arg = np.cos(arg)
+    sin_arg = np.sin(arg)
+    r_fhd = phi_r @ cos_arg + phi_i @ sin_arg
+    i_fhd = phi_i @ cos_arg - phi_r @ sin_arg
+    return r_fhd.astype(np.float32), i_fhd.astype(np.float32)
+
+
+def q_reference(k_coords, phi_magnitude, voxels):
+    """(rQ, iQ) per voxel for the scanner-configuration matrix Q."""
+    arg = phase_matrix(k_coords, voxels)
+    r_q = phi_magnitude @ np.cos(arg)
+    i_q = phi_magnitude @ np.sin(arg)
+    return r_q.astype(np.float32), i_q.astype(np.float32)
+
+
+def make_samples(rng, count):
+    """Random k-space sample rows (kx, ky, kz, phiR, phiI)."""
+    samples = rng.random((count, 5)).astype(np.float32)
+    samples[:, :3] = samples[:, :3] * 2.0 - 1.0
+    return samples
+
+
+def make_voxels(rng, count):
+    """Random voxel coordinate rows (x, y, z)."""
+    return (rng.random((count, 3)).astype(np.float32) * 2.0 - 1.0)

@@ -1,0 +1,62 @@
+"""Shared fixtures: machines, applications, GMAC instances, test kernels."""
+
+import numpy as np
+import pytest
+
+from repro.hw.machine import reference_system, integrated_system
+from repro.workloads.base import Application
+from repro.cuda.kernels import Kernel
+
+
+@pytest.fixture
+def machine():
+    return reference_system()
+
+
+@pytest.fixture
+def integrated_machine():
+    return integrated_system()
+
+
+@pytest.fixture
+def app(machine):
+    return Application(machine)
+
+
+@pytest.fixture
+def gmac_factory(app):
+    """Build GMAC instances bound to the shared application."""
+
+    def build(protocol="rolling", **kwargs):
+        kwargs.setdefault("layer", "driver")
+        return app.gmac(protocol=protocol, **kwargs)
+
+    return build
+
+
+def _scale_fn(gpu, data, n, factor):
+    gpu.view(data, "f4", n)[:] *= np.float32(factor)
+
+
+def _add_fn(gpu, a, b, c, n):
+    np.add(gpu.view(a, "f4", n), gpu.view(b, "f4", n), out=gpu.view(c, "f4", n))
+
+
+@pytest.fixture
+def scale_kernel():
+    """data[i] *= factor over n float32 elements."""
+    return Kernel(
+        "scale", _scale_fn,
+        cost=lambda data, n, factor: (n, 8 * n),
+        writes=("data",),
+    )
+
+
+@pytest.fixture
+def add_kernel():
+    """c = a + b over n float32 elements."""
+    return Kernel(
+        "add", _add_fn,
+        cost=lambda a, b, c, n: (n, 12 * n),
+        writes=("c",),
+    )

@@ -1,0 +1,158 @@
+"""The Table 1 API surface and call/return consistency semantics."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import GmacError
+from repro.os.paging import PAGE_SIZE
+from repro.core.api import Gmac, SharedPtr
+
+
+class TestTable1Surface:
+    """Table 1: the compulsory ADSM API, under its paper names."""
+
+    def test_paper_aliases_exist(self, gmac_factory):
+        gmac = gmac_factory()
+        for name in ("adsmAlloc", "adsmFree", "adsmCall", "adsmSync",
+                     "adsmSafeAlloc", "adsmSafe"):
+            assert callable(getattr(gmac, name))
+
+    def test_alloc_returns_shared_ptr(self, gmac_factory):
+        gmac = gmac_factory()
+        ptr = gmac.adsmAlloc(PAGE_SIZE)
+        assert isinstance(ptr, SharedPtr)
+        assert ptr.device_addr == int(ptr)
+        assert ptr.region is not None
+
+    def test_call_then_sync(self, gmac_factory, scale_kernel):
+        gmac = gmac_factory()
+        ptr = gmac.adsmAlloc(64)
+        ptr.write_array(np.ones(16, dtype=np.float32))
+        gmac.adsmCall(scale_kernel, data=ptr, n=16, factor=5.0)
+        gmac.adsmSync()
+        assert np.allclose(ptr.read_array("f4", 16), 5.0)
+
+    def test_unknown_protocol_rejected(self, app):
+        with pytest.raises(GmacError):
+            Gmac(app.machine, app.process, protocol="magic")
+
+    def test_bad_layer_rejected(self, app):
+        with pytest.raises(ValueError):
+            Gmac(app.machine, app.process, layer="kernel-module")
+
+
+class TestCallSemantics:
+    def test_host_pointer_argument_rejected(self, app, gmac_factory,
+                                            scale_kernel):
+        """The asymmetry: accelerators cannot access host memory."""
+        gmac = gmac_factory()
+        host_ptr = app.process.malloc(64)
+        with pytest.raises(GmacError, match="host pointer"):
+            gmac.call(scale_kernel, data=host_ptr, n=4, factor=1.0)
+
+    def test_scalar_arguments_pass_through(self, gmac_factory, scale_kernel):
+        gmac = gmac_factory()
+        ptr = gmac.alloc(64)
+        completion = gmac.call(scale_kernel, data=ptr, n=4, factor=2.0)
+        assert completion.label == "scale"
+
+    def test_shared_ptr_mid_region_translates(self, gmac_factory, add_kernel):
+        gmac = gmac_factory()
+        buf = gmac.alloc(3 * 64)
+        a = np.full(16, 1.0, dtype=np.float32)
+        b = np.full(16, 2.0, dtype=np.float32)
+        buf.write_array(a)
+        (buf + 64).write_array(b)
+        gmac.call(add_kernel, a=buf, b=buf + 64, c=buf + 128, n=16)
+        gmac.sync()
+        assert np.allclose((buf + 128).read_array("f4", 16), 3.0)
+
+    def test_writes_annotation_keeps_host_copy_valid(self, gmac_factory,
+                                                     add_kernel):
+        gmac = gmac_factory()
+        a = gmac.alloc(64, name="a")
+        b = gmac.alloc(64, name="b")
+        c = gmac.alloc(64, name="c")
+        a.write_array(np.ones(16, dtype=np.float32))
+        b.write_array(np.ones(16, dtype=np.float32))
+        gmac.call(add_kernel, writes=[c], a=a, b=b, c=c, n=16)
+        gmac.sync()
+        fetched_before = gmac.bytes_to_host
+        a.read_array("f4", 16)
+        b.read_array("f4", 16)
+        assert gmac.bytes_to_host == fetched_before  # no read-back needed
+        c.read_array("f4", 16)
+        assert gmac.bytes_to_host > fetched_before
+
+    def test_writes_annotation_rejects_non_shared(self, gmac_factory,
+                                                  scale_kernel, app):
+        gmac = gmac_factory()
+        ptr = gmac.alloc(64)
+        with pytest.raises(GmacError):
+            gmac.call(scale_kernel, writes=[app.process.malloc(64)],
+                      data=ptr, n=4, factor=1.0)
+
+    def test_release_consistency_at_boundaries(self, gmac_factory,
+                                               scale_kernel):
+        """Objects are released at adsmCall and acquired at adsmSync: CPU
+        writes before the call are visible to the kernel, kernel writes
+        are visible to the CPU after sync."""
+        gmac = gmac_factory()
+        ptr = gmac.alloc(64)
+        ptr.write_array(np.full(16, 3.0, dtype=np.float32))
+        gmac.call(scale_kernel, data=ptr, n=16, factor=2.0)
+        gmac.sync()
+        ptr.write_array(np.full(4, 9.0, dtype=np.float32))
+        gmac.call(scale_kernel, data=ptr, n=16, factor=10.0)
+        gmac.sync()
+        result = ptr.read_array("f4", 16)
+        assert np.allclose(result[:4], 90.0)
+        assert np.allclose(result[4:], 60.0)
+
+    def test_sync_waits_for_kernel(self, app, gmac_factory, scale_kernel):
+        gmac = gmac_factory()
+        ptr = gmac.alloc(1 << 20)
+        completion = gmac.call(scale_kernel, data=ptr, n=1 << 18, factor=1.0)
+        gmac.sync()
+        assert app.machine.clock.now >= completion.finish
+
+    def test_multiple_outstanding_calls(self, gmac_factory, scale_kernel):
+        gmac = gmac_factory()
+        ptr = gmac.alloc(64)
+        ptr.write_array(np.full(16, 1.0, dtype=np.float32))
+        gmac.call(scale_kernel, data=ptr, n=16, factor=2.0)
+        gmac.call(scale_kernel, data=ptr, n=16, factor=3.0)
+        gmac.sync()
+        assert np.allclose(ptr.read_array("f4", 16), 6.0)
+        assert gmac.kernel_calls == 2
+
+
+class TestStatsAndTeardown:
+    def test_counters_exposed(self, gmac_factory, scale_kernel):
+        gmac = gmac_factory()
+        ptr = gmac.alloc(PAGE_SIZE)
+        ptr.write_bytes(b"x")
+        gmac.call(scale_kernel, data=ptr, n=1, factor=1.0)
+        gmac.sync()
+        ptr.read_bytes(1)
+        assert gmac.bytes_to_accelerator > 0
+        assert gmac.bytes_to_host > 0
+        assert gmac.fault_count >= 2
+
+    def test_shutdown_releases_and_uninstalls(self, app, gmac_factory,
+                                              scale_kernel):
+        gmac = gmac_factory()
+        ptr = gmac.alloc(PAGE_SIZE)
+        gmac.call(scale_kernel, data=ptr, n=1, factor=1.0)
+        gmac.shutdown()  # syncs the pending call, frees, uninstalls libc
+        assert gmac.manager.block_count == 0
+        assert gmac.interposer is None
+
+    def test_memset_memcpy_without_libc(self, app):
+        gmac = Gmac(app.machine, app.process, libc=None, layer="driver")
+        ptr = gmac.alloc(64)
+        gmac.memset(ptr, 0x33, 16)
+        assert ptr.read_bytes(16) == b"\x33" * 16
+        other = gmac.alloc(64)
+        gmac.memcpy(other, ptr, 16)
+        assert other.read_bytes(16) == b"\x33" * 16

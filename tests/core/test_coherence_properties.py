@@ -1,0 +1,150 @@
+"""Property-based coherence testing.
+
+A random sequence of CPU writes, CPU reads, kernel calls and syncs is run
+against every protocol and checked against a flat numpy model of what the
+data *should* contain.  The invariant is the ADSM contract: after adsmSync,
+CPU reads observe every kernel write; at adsmCall, the kernel observes
+every CPU write — regardless of protocol, block size or rolling size.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.os.paging import PAGE_SIZE
+from repro.hw.machine import reference_system
+from repro.workloads.base import Application
+from repro.cuda.kernels import Kernel
+
+REGION_PAGES = 6
+REGION_BYTES = REGION_PAGES * PAGE_SIZE
+
+
+def _negate_fn(gpu, data, n):
+    view = gpu.view(data, "i4", n)
+    np.negative(view, out=view)
+
+
+NEGATE = Kernel("negate", _negate_fn, cost=lambda data, n: (n, 8 * n))
+
+_operation = st.one_of(
+    st.tuples(
+        st.just("write"),
+        st.integers(0, REGION_BYTES // 4 - 1),
+        st.integers(1, 2048),
+        st.integers(-1000, 1000),
+    ),
+    st.tuples(st.just("read"), st.integers(0, REGION_BYTES // 4 - 1),
+              st.integers(1, 2048)),
+    st.tuples(st.just("kernel")),
+    st.tuples(st.just("memset"), st.integers(0, REGION_BYTES - 1),
+              st.integers(1, 8192), st.integers(0, 255)),
+)
+
+
+@st.composite
+def _programs(draw):
+    return draw(st.lists(_operation, min_size=1, max_size=12))
+
+
+class TestCoherenceAgainstModel:
+    @pytest.mark.parametrize(
+        "protocol, options",
+        [
+            ("batch", {}),
+            ("lazy", {}),
+            ("rolling", {"block_size": PAGE_SIZE, "rolling_size": 1}),
+            ("rolling", {"block_size": PAGE_SIZE, "rolling_size": 3}),
+            ("rolling", {"block_size": 2 * PAGE_SIZE}),
+        ],
+    )
+    @given(program=_programs())
+    @settings(max_examples=25, deadline=None)
+    def test_random_program_matches_model(self, protocol, options, program):
+        machine = reference_system()
+        app = Application(machine)
+        gmac = app.gmac(
+            protocol=protocol,
+            layer="driver",
+            protocol_options=options or None,
+        )
+        ptr = gmac.alloc(REGION_BYTES)
+        model = np.zeros(REGION_BYTES // 4, dtype=np.int32)
+        n = len(model)
+        pending_kernel = False
+
+        for op in program:
+            if op[0] == "write":
+                _, index, count, value = op
+                count = min(count, n - index)
+                if pending_kernel:
+                    gmac.sync()
+                    pending_kernel = False
+                values = np.full(count, value, dtype=np.int32)
+                ptr.write_array(values, offset=4 * index)
+                model[index:index + count] = values
+            elif op[0] == "read":
+                _, index, count = op
+                count = min(count, n - index)
+                if pending_kernel:
+                    gmac.sync()
+                    pending_kernel = False
+                observed = ptr.read_array("i4", count, offset=4 * index)
+                assert np.array_equal(observed, model[index:index + count])
+            elif op[0] == "kernel":
+                gmac.call(NEGATE, data=ptr, n=n)
+                np.negative(model, out=model)
+                pending_kernel = True
+            elif op[0] == "memset":
+                _, offset, size, value = op
+                size = min(size, REGION_BYTES - offset)
+                if pending_kernel:
+                    gmac.sync()
+                    pending_kernel = False
+                app.libc.memset(int(ptr) + offset, value, size)
+                raw = model.view(np.uint8)
+                raw[offset:offset + size] = value
+
+        if pending_kernel:
+            gmac.sync()
+        final = ptr.read_array("i4", n)
+        assert np.array_equal(final, model)
+
+    @given(
+        block_pages=st.integers(1, 4),
+        rolling=st.integers(1, 5),
+        chunks=st.lists(st.integers(1, REGION_BYTES // 8), min_size=1,
+                        max_size=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_sequential_production_always_reaches_device(self, block_pages,
+                                                         rolling, chunks):
+        """Whatever the block/rolling geometry, data written before a call
+        is what the kernel sees."""
+        machine = reference_system()
+        app = Application(machine)
+        gmac = app.gmac(
+            protocol="rolling",
+            layer="driver",
+            protocol_options={
+                "block_size": block_pages * PAGE_SIZE,
+                "rolling_size": rolling,
+            },
+        )
+        ptr = gmac.alloc(REGION_BYTES)
+        rng = np.random.default_rng(1)
+        reference = np.zeros(REGION_BYTES // 4, dtype=np.int32)
+        cursor = 0
+        for chunk in chunks:
+            count = min(chunk, len(reference) - cursor)
+            if count <= 0:
+                break
+            values = rng.integers(-100, 100, count, dtype=np.int32)
+            ptr.write_array(values, offset=4 * cursor)
+            reference[cursor:cursor + count] = values
+            cursor += count
+        gmac.call(NEGATE, data=ptr, n=len(reference))
+        gmac.sync()
+        assert np.array_equal(
+            ptr.read_array("i4", len(reference)), -reference
+        )

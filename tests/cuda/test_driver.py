@@ -1,0 +1,147 @@
+"""The driver API: memory, copies, streams, launches."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import CudaError
+from repro.util.units import MB
+from repro.cuda.driver import DriverContext, Stream
+from repro.cuda.kernels import Kernel
+from repro.hw.interconnect import Direction
+
+
+@pytest.fixture
+def ctx(app):
+    return DriverContext(app.machine, app.process)
+
+
+def _double_fn(gpu, data, n):
+    gpu.view(data, "f4", n)[:] *= np.float32(2.0)
+
+
+DOUBLE = Kernel("double", _double_fn, cost=lambda data, n: (n, 8 * n))
+
+
+class TestMemory:
+    def test_alloc_free(self, ctx):
+        addr = ctx.mem_alloc(4096)
+        assert addr in ctx.allocations
+        ctx.mem_free(addr)
+        assert addr not in ctx.allocations
+
+    def test_free_unknown_rejected(self, ctx):
+        with pytest.raises(CudaError):
+            ctx.mem_free(0x123)
+
+    def test_driver_calls_cost_cpu_time(self, app, ctx):
+        before = app.machine.clock.now
+        ctx.mem_alloc(4096)
+        assert app.machine.clock.now == pytest.approx(
+            before + DriverContext.CALL_OVERHEAD_S
+        )
+
+
+class TestCopies:
+    def test_h2d_d2h_roundtrip(self, app, ctx):
+        host = app.process.malloc(64)
+        host.write_bytes(b"round trip data!")
+        dev = ctx.mem_alloc(64)
+        ctx.memcpy_h2d(dev, int(host), 16)
+        back = app.process.malloc(64)
+        ctx.memcpy_d2h(int(back), dev, 16)
+        assert back.read_bytes(16) == b"round trip data!"
+
+    def test_sync_copy_blocks_for_transfer_time(self, app, ctx):
+        host = app.process.malloc(MB)
+        dev = ctx.mem_alloc(MB)
+        before = app.machine.clock.now
+        ctx.memcpy_h2d(dev, int(host), MB)
+        elapsed = app.machine.clock.now - before
+        assert elapsed >= app.machine.link.spec.transfer_seconds(MB)
+
+    def test_async_copy_returns_immediately(self, app, ctx):
+        host = app.process.malloc(MB)
+        dev = ctx.mem_alloc(MB)
+        before = app.machine.clock.now
+        completion = ctx.memcpy_h2d(dev, int(host), MB, sync=False)
+        issue_time = app.machine.clock.now - before
+        assert issue_time < app.machine.link.spec.transfer_seconds(MB)
+        assert completion.finish > app.machine.clock.now
+
+    def test_async_copy_data_is_snapshot(self, app, ctx):
+        """Data moves at issue time: mutating the source afterwards must
+        not affect what the device sees (the staging-buffer semantics)."""
+        host = app.process.malloc(64)
+        host.write_bytes(b"original")
+        dev = ctx.mem_alloc(64)
+        ctx.memcpy_h2d(dev, int(host), 8, sync=False)
+        host.write_bytes(b"mutated!")
+        assert ctx.gpu.memory.read(dev, 8) == b"original"
+
+    def test_d2h_ignores_host_protections(self, app, ctx):
+        from repro.os.paging import Prot
+
+        mapping = app.process.address_space.mmap(4096, prot=Prot.NONE)
+        dev = ctx.mem_alloc(4096)
+        ctx.gpu.memory.write(dev, b"dma!")
+        ctx.memcpy_d2h(mapping.start, dev, 4)
+        assert app.process.address_space.peek(mapping.start, 4) == b"dma!"
+
+    def test_memset_d8(self, ctx):
+        dev = ctx.mem_alloc(64)
+        ctx.memset_d8(dev, 0xEE, 64)
+        assert ctx.gpu.memory.read(dev, 64) == b"\xee" * 64
+
+    def test_memcpy_d2d(self, ctx):
+        a = ctx.mem_alloc(64)
+        b = ctx.mem_alloc(64)
+        ctx.gpu.memory.write(a, b"device-side")
+        ctx.memcpy_d2d(b, a, 11)
+        assert ctx.gpu.memory.read(b, 11) == b"device-side"
+
+    def test_link_byte_counters(self, app, ctx):
+        host = app.process.malloc(4096)
+        dev = ctx.mem_alloc(4096)
+        ctx.memcpy_h2d(dev, int(host), 4096)
+        assert app.machine.link.bytes_moved[Direction.H2D] == 4096
+
+
+class TestStreamsAndLaunch:
+    def test_stream_orders_operations(self, app, ctx):
+        stream = Stream("s")
+        host = app.process.malloc(MB)
+        dev = ctx.mem_alloc(MB)
+        first = ctx.memcpy_h2d(dev, int(host), MB, stream=stream, sync=False)
+        kernel_completion = ctx.launch(DOUBLE, {"data": dev, "n": 4},
+                                       stream=stream)
+        assert kernel_completion.start >= first.finish
+
+    def test_launch_executes_numerics_eagerly(self, ctx):
+        dev = ctx.mem_alloc(16)
+        ctx.gpu.memory.view(dev, "f4", 4)[:] = [1, 2, 3, 4]
+        ctx.launch(DOUBLE, {"data": dev, "n": 4})
+        assert ctx.gpu.memory.view(dev, "f4", 4).tolist() == [2, 4, 6, 8]
+
+    def test_launch_respects_earliest(self, ctx):
+        dev = ctx.mem_alloc(16)
+        completion = ctx.launch(DOUBLE, {"data": dev, "n": 4}, earliest=0.5)
+        assert completion.start >= 0.5
+
+    def test_synchronize_waits_for_kernels_and_copies(self, app, ctx):
+        host = app.process.malloc(MB)
+        dev = ctx.mem_alloc(MB)
+        copy = ctx.memcpy_h2d(dev, int(host), MB, sync=False)
+        kernel = ctx.launch(DOUBLE, {"data": dev, "n": 4})
+        ctx.synchronize()
+        assert app.machine.clock.now >= max(copy.finish, kernel.finish)
+
+    def test_integrated_machine_transfers_are_free(self, integrated_machine):
+        from repro.workloads.base import Application
+
+        app = Application(integrated_machine)
+        ctx = DriverContext(integrated_machine, app.process)
+        host = app.process.malloc(MB)
+        dev = ctx.mem_alloc(MB)
+        completion = ctx.memcpy_h2d(dev, int(host), MB)
+        assert completion.duration == 0.0
+        assert integrated_machine.link.bytes_moved[Direction.H2D] == 0

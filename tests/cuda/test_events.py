@@ -1,0 +1,80 @@
+"""CUDA-style timing events."""
+
+import pytest
+
+from repro.util.errors import CudaError
+from repro.cuda.driver import DriverContext, Stream, Event
+from repro.cuda.kernels import Kernel
+
+
+def _spin(gpu, n):
+    pass
+
+
+SPIN = Kernel("spin", _spin, cost=lambda n: (n, 0))
+
+
+@pytest.fixture
+def ctx(app):
+    return DriverContext(app.machine, app.process)
+
+
+class TestEvents:
+    def test_record_without_stream_captures_now(self, app):
+        event = Event()
+        app.machine.clock.advance(1.5)
+        assert event.record(app.machine.clock) == 1.5
+        assert event.recorded
+
+    def test_record_into_stream_captures_completion(self, app, ctx):
+        stream = Stream()
+        ctx.launch(SPIN, {"n": 500_000_000}, stream=stream)
+        event = Event()
+        event.record(app.machine.clock, stream)
+        assert event.timestamp == stream.last.finish
+        assert event.timestamp > app.machine.clock.now
+
+    def test_synchronize_blocks_until_event(self, app, ctx):
+        stream = Stream()
+        ctx.launch(SPIN, {"n": 500_000_000}, stream=stream)
+        event = Event()
+        event.record(app.machine.clock, stream)
+        event.synchronize(app.machine.clock)
+        assert app.machine.clock.now == event.timestamp
+
+    def test_elapsed_between_events(self, app, ctx):
+        stream = Stream()
+        start = Event("start")
+        start.record(app.machine.clock, stream)
+        completion = ctx.launch(SPIN, {"n": 500_000_000}, stream=stream)
+        stop = Event("stop")
+        stop.record(app.machine.clock, stream)
+        elapsed_ms = stop.elapsed_since(start)
+        assert elapsed_ms == pytest.approx(
+            (completion.finish - start.timestamp) * 1e3
+        )
+        assert elapsed_ms > 0
+
+    def test_unrecorded_event_errors(self, app):
+        event = Event()
+        with pytest.raises(CudaError):
+            event.synchronize(app.machine.clock)
+        other = Event()
+        other.record(app.machine.clock)
+        with pytest.raises(CudaError):
+            other.elapsed_since(event)
+
+    def test_event_pairs_time_gpu_phases(self, app, ctx):
+        """The canonical pattern: event - work - event - elapsed."""
+        stream = Stream()
+        phases = []
+        previous = Event()
+        previous.record(app.machine.clock, stream)
+        for _ in range(3):
+            ctx.launch(SPIN, {"n": 100_000_000}, stream=stream)
+            marker = Event()
+            marker.record(app.machine.clock, stream)
+            phases.append(marker.elapsed_since(previous))
+            previous = marker
+        assert all(p > 0 for p in phases)
+        assert phases[1] == pytest.approx(phases[2], rel=0.01)

@@ -1,0 +1,28 @@
+"""The experiments CLI (`python -m repro.experiments`)."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        assert main(["fig2", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "fig2" in output
+        assert "maxIPC" in output
+        assert "regenerated in" in output
+
+    def test_motivation(self, capsys):
+        assert main(["motivation", "--quick"]) == 0
+        assert "kernel fraction" in capsys.readouterr().out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["fig99"])
+
+    def test_table_experiment(self, capsys):
+        assert main(["tab2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cp", "mri-fhd", "tpacf"):
+            assert name in out

@@ -1,0 +1,65 @@
+"""The experiment plumbing: caching and quick parameters."""
+
+import pytest
+
+from repro.experiments import common
+from repro.workloads.parboil import PARBOIL
+
+
+class TestRunCache:
+    def test_identical_requests_hit_the_cache(self):
+        common.clear_cache()
+        first = common.run_parboil("cp", "cuda", quick=True)
+        second = common.run_parboil("cp", "cuda", quick=True)
+        assert first is second
+        common.clear_cache()
+
+    def test_distinct_configurations_do_not_collide(self):
+        common.clear_cache()
+        lazy = common.run_parboil("cp", "gmac", protocol="lazy", quick=True)
+        rolling = common.run_parboil("cp", "gmac", protocol="rolling",
+                                     quick=True)
+        assert lazy is not rolling
+        assert lazy.protocol == "lazy"
+        assert rolling.protocol == "rolling"
+        common.clear_cache()
+
+    def test_protocol_options_are_part_of_the_key(self):
+        common.clear_cache()
+        small = common.run_parboil(
+            "cp", "gmac", quick=True,
+            protocol_options={"block_size": 4096},
+        )
+        default = common.run_parboil("cp", "gmac", quick=True)
+        assert small is not default
+        common.clear_cache()
+
+    def test_cuda_mode_ignores_protocol_in_key(self):
+        common.clear_cache()
+        a = common.run_parboil("cp", "cuda", protocol="lazy", quick=True)
+        b = common.run_parboil("cp", "cuda", protocol="rolling", quick=True)
+        assert a is b
+        common.clear_cache()
+
+
+class TestQuickParams:
+    def test_quick_workloads_are_smaller(self):
+        for name in PARBOIL:
+            quick = common.make_workload(name, quick=True)
+            full = common.make_workload(name, quick=False)
+            quick_footprint = sum(
+                getattr(quick, attribute)
+                for attribute in dir(quick)
+                if attribute.endswith("_bytes")
+                and isinstance(getattr(quick, attribute), int)
+            )
+            full_footprint = sum(
+                getattr(full, attribute)
+                for attribute in dir(full)
+                if attribute.endswith("_bytes")
+                and isinstance(getattr(full, attribute), int)
+            )
+            assert quick_footprint <= full_footprint, name
+
+    def test_protocol_order_matches_figures(self):
+        assert common.PROTOCOL_ORDER == ("batch", "lazy", "rolling")

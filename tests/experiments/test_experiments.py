@@ -1,0 +1,218 @@
+"""Every experiment regenerates with the paper's qualitative shape.
+
+These are the repro gates: each test pins down the claim the paper makes
+about the corresponding table/figure, on quick-sized runs.
+"""
+
+import pytest
+
+from repro.experiments.registry import REGISTRY, run_experiment
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every experiment once (quick mode) and share the results."""
+    return {
+        experiment_id: run_experiment(experiment_id, quick=True)
+        for experiment_id in REGISTRY
+    }
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert {"fig2", "tab2", "fig7", "fig8", "fig9", "fig10", "fig11",
+                "fig12", "porting", "motivation", "ablations"} <= set(REGISTRY)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_render_is_printable(self, results):
+        for result in results.values():
+            text = result.render()
+            assert result.experiment_id in text
+            assert "paper:" in text
+
+
+class TestFigure2(object):
+    def test_pcie_breakpoints(self, results):
+        rows = results["fig2"].row_map("benchmark")
+        column = results["fig2"].headers.index("maxIPC:PCIe 2.0 x16")
+        assert rows["bt"][column] == pytest.approx(50, rel=0.2)
+        assert rows["ua"][column] == pytest.approx(5, rel=0.2)
+
+    def test_gpu_memory_dwarfs_interconnects(self, results):
+        fig2 = results["fig2"]
+        pcie = fig2.headers.index("maxIPC:PCIe 2.0 x16")
+        gpu = fig2.headers.index("maxIPC:NVIDIA GTX295 Memory")
+        for row in fig2.rows:
+            assert row[gpu] > 10 * row[pcie]
+
+
+class TestMotivation:
+    def test_99_percent_in_kernels(self, results):
+        for row in results["motivation"].rows:
+            assert row[-1] == pytest.approx(0.99, abs=0.03)
+
+
+class TestFigure7:
+    def test_all_verified(self, results):
+        assert all(row[-1] == "yes" for row in results["fig7"].rows)
+
+    def test_batch_always_slowest(self, results):
+        fig7 = results["fig7"]
+        batch = fig7.headers.index("batch slow-down")
+        lazy = fig7.headers.index("lazy slow-down")
+        rolling = fig7.headers.index("rolling slow-down")
+        for row in fig7.rows:
+            assert row[batch] >= row[lazy] * 0.99
+            assert row[batch] >= row[rolling] * 0.99
+
+    def test_pns_and_rpes_blow_up_under_batch(self, results):
+        rows = results["fig7"].row_map("benchmark")
+        batch = results["fig7"].headers.index("batch slow-down")
+        assert rows["pns"][batch] > 5
+        assert rows["rpes"][batch] > 3
+        assert rows["pns"][batch] > rows["rpes"][batch]
+
+    def test_lazy_and_rolling_match_cuda(self, results):
+        fig7 = results["fig7"]
+        for header in ("lazy slow-down", "rolling slow-down"):
+            column = fig7.headers.index(header)
+            for row in fig7.rows:
+                assert row[column] < 1.6, (row[0], header, row[column])
+
+
+class TestFigure8:
+    def test_fractions_at_most_one(self, results):
+        for row in results["fig8"].rows:
+            for value in row[1:]:
+                assert 0.0 <= value <= 1.2
+
+    def test_iterative_benchmarks_move_tiny_fractions(self, results):
+        rows = results["fig8"].row_map("benchmark")
+        for name in ("pns", "rpes"):
+            assert rows[name][1] < 0.1  # lazy h2d / batch
+            assert rows[name][3] < 0.1  # rolling h2d / batch
+
+    def test_mriq_rolling_reads_back_less_than_lazy(self, results):
+        rows = results["fig8"].row_map("benchmark")
+        lazy_d2h = results["fig8"].headers.index("lazy d2h/batch")
+        rolling_d2h = results["fig8"].headers.index("rolling d2h/batch")
+        assert rows["mri-q"][rolling_d2h] < rows["mri-q"][lazy_d2h]
+
+
+class TestFigure9:
+    def test_all_verified(self, results):
+        assert all(row[-1] == "yes" for row in results["fig9"].rows)
+
+    def test_mid_blocks_beat_lazy_at_large_volumes(self, results):
+        fig9 = results["fig9"]
+        lazy = fig9.headers.index("lazy ms")
+        mid = fig9.headers.index("rolling 256KB ms")
+        last = fig9.rows[-1]
+        assert last[mid] <= last[lazy]
+
+    def test_tiny_blocks_lose(self, results):
+        fig9 = results["fig9"]
+        tiny = fig9.headers.index("rolling 4KB ms")
+        mid = fig9.headers.index("rolling 256KB ms")
+        for row in fig9.rows:
+            assert row[tiny] > row[mid]
+
+
+class TestFigure10:
+    def test_shares_sum_to_100(self, results):
+        for row in results["fig10"].rows:
+            assert sum(row[1:]) == pytest.approx(100.0, abs=0.5)
+
+    def test_signal_overhead_small(self, results):
+        """The paper: signal handling 'always below 2%'."""
+        signal = results["fig10"].headers.index("Signal%")
+        for row in results["fig10"].rows:
+            assert row[signal] < 3.0, (row[0], row[signal])
+
+    def test_mri_benchmarks_are_ioread_heavy(self, results):
+        rows = results["fig10"].row_map("benchmark")
+        ioread = results["fig10"].headers.index("IORead%")
+        for name in ("mri-fhd", "mri-q"):
+            assert rows[name][ioread] > 25.0
+
+    def test_cpu_gpu_dominate_compute_benchmarks(self, results):
+        rows = results["fig10"].row_map("benchmark")
+        gpu = results["fig10"].headers.index("GPU%")
+        cpu = results["fig10"].headers.index("CPU%")
+        assert rows["tpacf"][gpu] + rows["tpacf"][cpu] > 50.0
+
+
+class TestFigure11:
+    def test_all_verified(self, results):
+        assert all(row[-1] == "yes" for row in results["fig11"].rows)
+
+    def test_bandwidth_rises_to_max_at_32mb(self, results):
+        fig11 = results["fig11"]
+        h2d = fig11.headers.index("H2D GB/s")
+        bandwidths = [row[h2d] for row in fig11.rows]
+        assert bandwidths == sorted(bandwidths)
+        assert bandwidths[-1] > 5.0
+
+    def test_4kb_blocks_are_worst_for_transfers(self, results):
+        fig11 = results["fig11"]
+        cpu_to_gpu = fig11.headers.index("CPU-to-GPU ms")
+        values = [row[cpu_to_gpu] for row in fig11.rows]
+        assert values[0] == max(values)
+
+    def test_gpu_to_cpu_falls_monotonically(self, results):
+        fig11 = results["fig11"]
+        column = fig11.headers.index("GPU-to-CPU ms")
+        values = [row[column] for row in fig11.rows]
+        assert values == sorted(values, reverse=True)
+
+
+class TestFigure12:
+    def test_all_verified(self, results):
+        assert all(row[-1] == "yes" for row in results["fig12"].rows)
+
+    def test_small_rolling_thrashes_at_small_blocks(self, results):
+        fig12 = results["fig12"]
+        tpacf1 = fig12.headers.index("tpacf-1 ms")
+        first, last = fig12.rows[0], fig12.rows[-1]
+        assert first[tpacf1] > last[tpacf1]
+
+    def test_rolling4_flatter_than_rolling1(self, results):
+        fig12 = results["fig12"]
+        col1 = fig12.headers.index("tpacf-1 ms")
+        col4 = fig12.headers.index("tpacf-4 ms")
+        spread1 = max(r[col1] for r in fig12.rows) / min(
+            r[col1] for r in fig12.rows
+        )
+        spread4 = max(r[col4] for r in fig12.rows) / min(
+            r[col4] for r in fig12.rows
+        )
+        assert spread4 <= spread1 * 1.05
+
+
+class TestPortingAndTable2:
+    def test_every_port_removes_lines(self, results):
+        assert all(row[-1] == "yes" for row in results["porting"].rows)
+
+    def test_table2_lists_the_suite(self, results):
+        names = {row[0] for row in results["tab2"].rows}
+        assert names == {"cp", "mri-fhd", "mri-q", "pns", "rpes", "sad",
+                         "tpacf"}
+
+
+class TestAblations:
+    def test_all_observations_hold(self, results):
+        assert all(row[-1] == "yes" for row in results["ablations"].rows)
+
+    def test_annotation_halves_readback(self, results):
+        rows = [r for r in results["ablations"].rows if r[0] == "annotation"]
+        unannotated = int(rows[0][2].split()[1])
+        annotated = int(rows[1][2].split()[1])
+        assert annotated < unannotated
+
+    def test_integrated_machine_moves_nothing(self, results):
+        rows = [r for r in results["ablations"].rows if r[0] == "integrated"]
+        integrated = [r for r in rows if "integrated" in r[1]][0]
+        assert integrated[2].startswith("0 bytes")

@@ -1,0 +1,50 @@
+"""The markdown reproduction report."""
+
+import pytest
+
+from repro.experiments.report import build_report, write_report, SECTION_ORDER
+from repro.experiments.registry import REGISTRY
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # A small subset keeps the test fast; the full report is exercised
+        # by the CLI path in production runs.
+        return build_report(
+            quick=True, experiment_ids=["fig2", "motivation", "tab2"]
+        )
+
+    def test_has_title_and_sections(self, report):
+        assert report.startswith("# GMAC/ADSM reproduction report")
+        assert "## fig2" in report
+        assert "## motivation" in report
+
+    def test_contains_paper_claims(self, report):
+        assert "**Paper claim:**" in report
+
+    def test_markdown_tables_wellformed(self, report):
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_section_order_covers_registry(self):
+        assert set(SECTION_ORDER) == set(REGISTRY)
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        text = write_report(path, quick=True,
+                            experiment_ids=["motivation"])
+        assert path.read_text() == text
+        assert "motivation" in text
+
+    def test_cli_report_mode(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        # Patch: restrict to a fast subset via a tiny wrapper is overkill;
+        # the quick full report is still a real end-to-end run, so keep it
+        # to the CLI contract only when explicitly requested.
+        output = tmp_path / "out.md"
+        assert main(["report", "--quick", "--output", str(output)]) == 0
+        assert output.exists()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,135 @@
+"""Property-based testing of the address space against a flat page model.
+
+A random sequence of mmap/munmap/mprotect/poke operations runs against both
+the real :class:`AddressSpace` and a naive dict-of-pages model; protection
+checks and data reads must agree everywhere.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.util.errors import AllocationError, ProtectionError
+from repro.os.paging import PAGE_SIZE, Prot, AccessKind
+from repro.os.address_space import AddressSpace
+
+ARENA_BASE = 0x100000
+ARENA_PAGES = 16
+
+_operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("mmap"), st.integers(0, ARENA_PAGES - 1),
+                  st.integers(1, 4)),
+        st.tuples(st.just("munmap"), st.integers(0, ARENA_PAGES - 1)),
+        st.tuples(
+            st.just("mprotect"),
+            st.integers(0, ARENA_PAGES - 1),
+            st.integers(1, 4),
+            st.sampled_from([Prot.NONE, Prot.READ, Prot.RW]),
+        ),
+        st.tuples(st.just("poke"), st.integers(0, ARENA_PAGES - 1),
+                  st.integers(0, 255)),
+    ),
+    max_size=40,
+)
+
+
+class _PageModel:
+    """The oracle: a dict page-index -> (prot, mapping-id, first-byte)."""
+
+    def __init__(self):
+        self.pages = {}
+        self.mapping_starts = {}  # page index -> page count
+
+    def mmap(self, page, count):
+        if any(page + i in self.pages for i in range(count)):
+            raise AllocationError("overlap")
+        for i in range(count):
+            self.pages[page + i] = [Prot.RW, 0]
+        self.mapping_starts[page] = count
+
+    def munmap(self, page):
+        count = self.mapping_starts.pop(page)
+        for i in range(count):
+            del self.pages[page + i]
+
+    def owner_of(self, page):
+        for start, count in self.mapping_starts.items():
+            if start <= page < start + count:
+                return start, count
+        return None
+
+    def mprotect(self, page, count, prot):
+        owner = self.owner_of(page)
+        if owner is None:
+            raise ProtectionError("unmapped")
+        start, size = owner
+        if page + count > start + size:
+            raise ProtectionError("crosses mapping end")
+        for i in range(count):
+            self.pages[page + i][0] = prot
+
+    def poke(self, page, value):
+        self.pages[page][1] = value
+
+    def check(self, page, kind):
+        entry = self.pages.get(page)
+        if entry is None:
+            return False
+        return bool(entry[0] & kind.required_prot)
+
+
+def _address(page):
+    return ARENA_BASE + page * PAGE_SIZE
+
+
+class TestAgainstPageModel:
+    @given(_operations)
+    @settings(max_examples=80, deadline=None)
+    def test_operations_agree_with_model(self, operations):
+        space = AddressSpace()
+        model = _PageModel()
+        for op in operations:
+            if op[0] == "mmap":
+                _, page, count = op
+                if _address(page + count) > _address(ARENA_PAGES):
+                    continue
+                real_failed = model_failed = False
+                try:
+                    model.mmap(page, count)
+                except AllocationError:
+                    model_failed = True
+                try:
+                    space.mmap(count * PAGE_SIZE, fixed_address=_address(page))
+                except AllocationError:
+                    real_failed = True
+                assert real_failed == model_failed
+            elif op[0] == "munmap":
+                _, page = op
+                if page in model.mapping_starts:
+                    model.munmap(page)
+                    space.munmap(_address(page))
+            elif op[0] == "mprotect":
+                _, page, count, prot = op
+                real_failed = model_failed = False
+                try:
+                    model.mprotect(page, count, prot)
+                except ProtectionError:
+                    model_failed = True
+                try:
+                    space.mprotect(_address(page), count * PAGE_SIZE, prot)
+                except ProtectionError:
+                    real_failed = True
+                assert real_failed == model_failed
+            elif op[0] == "poke":
+                _, page, value = op
+                if page in model.pages:
+                    model.poke(page, value)
+                    space.poke(_address(page), bytes([value]))
+
+        # Final agreement over every page and both access kinds.
+        for page in range(ARENA_PAGES):
+            address = _address(page)
+            for kind in (AccessKind.READ, AccessKind.WRITE):
+                allowed = space.check(address, 1, kind) is None
+                assert allowed == model.check(page, kind), (page, kind)
+            if page in model.pages:
+                assert space.peek(address, 1)[0] == model.pages[page][1]

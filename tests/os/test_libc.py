@@ -1,0 +1,158 @@
+"""libc semantics: interposition table and un-restartable I/O.
+
+The critical behaviour (Section 4.4): a ``read()`` into memory that faults
+*after partial progress* cannot be restarted — the default implementation
+must abort, because that failure is exactly what GMAC's interposed,
+block-chunked I/O exists to avoid.
+"""
+
+import pytest
+
+from repro.util.errors import IoError, SegmentationFault
+from repro.os.paging import PAGE_SIZE, Prot
+
+
+@pytest.fixture
+def process(app):
+    return app.process
+
+
+@pytest.fixture
+def libc(app):
+    return app.libc
+
+
+@pytest.fixture
+def fs(app):
+    return app.fs
+
+
+class TestPlainIo:
+    def test_read_into_plain_memory(self, process, libc, fs):
+        fs.create("in.bin", b"abcdefgh")
+        ptr = process.malloc(16)
+        with fs.open("in.bin") as handle:
+            assert libc.read(handle, int(ptr), 8) == 8
+        assert ptr.read_bytes(8) == b"abcdefgh"
+
+    def test_short_read_at_eof(self, process, libc, fs):
+        fs.create("in.bin", b"abc")
+        ptr = process.malloc(16)
+        with fs.open("in.bin") as handle:
+            assert libc.read(handle, int(ptr), 10) == 3
+
+    def test_write_from_plain_memory(self, process, libc, fs):
+        ptr = process.malloc(16)
+        ptr.write_bytes(b"payload!")
+        with fs.open("out.bin", "w") as handle:
+            assert libc.write(handle, int(ptr), 8) == 8
+        assert fs.data_of("out.bin") == b"payload!"
+
+    def test_io_charges_categories(self, app, process, libc, fs):
+        from repro.sim.tracing import Category
+
+        fs.create("in.bin", bytes(PAGE_SIZE))
+        ptr = process.malloc(PAGE_SIZE)
+        with fs.open("in.bin") as handle:
+            libc.read(handle, int(ptr), PAGE_SIZE)
+        assert app.machine.accounting.totals[Category.IO_READ] > 0
+
+
+class TestUnrestartableIo:
+    def _arm_one_shot_repair(self, process):
+        """Repair exactly the faulting page, like a lazy fault handler."""
+
+        def handler(info):
+            page = info.address - info.address % PAGE_SIZE
+            process.address_space.mprotect(page, PAGE_SIZE, Prot.RW)
+            return True
+
+        process.signals.register(handler)
+
+    def test_fault_at_offset_zero_is_restartable(self, process, libc, fs):
+        fs.create("in.bin", bytes(PAGE_SIZE))
+        mapping = process.address_space.mmap(PAGE_SIZE, prot=Prot.READ)
+        self._arm_one_shot_repair(process)
+        with fs.open("in.bin") as handle:
+            assert libc.read(handle, mapping.start, PAGE_SIZE) == PAGE_SIZE
+
+    def test_fault_after_progress_aborts(self, process, libc, fs):
+        """Two protected pages: the first fault is repaired, progress is
+        made, and the second fault aborts the read (data already consumed
+        from the file cannot be replayed)."""
+        fs.create("in.bin", bytes(2 * PAGE_SIZE))
+        mapping = process.address_space.mmap(2 * PAGE_SIZE, prot=Prot.READ)
+        self._arm_one_shot_repair(process)
+        with fs.open("in.bin") as handle:
+            with pytest.raises(IoError, match="not restartable"):
+                libc.read(handle, mapping.start, 2 * PAGE_SIZE)
+        # The handler DID run for the second page before the abort.
+        assert process.signals.delivered == 2
+
+    def test_write_aborts_symmetrically(self, process, libc, fs):
+        mapping = process.address_space.mmap(2 * PAGE_SIZE, prot=Prot.NONE)
+
+        def handler(info):
+            page = info.address - info.address % PAGE_SIZE
+            process.address_space.mprotect(page, PAGE_SIZE, Prot.READ)
+            return True
+
+        process.signals.register(handler)
+        with fs.open("out.bin", "w") as handle:
+            with pytest.raises(IoError, match="not restartable"):
+                libc.write(handle, mapping.start, 2 * PAGE_SIZE)
+
+    def test_unrepaired_fault_is_segfault(self, process, libc, fs):
+        fs.create("in.bin", bytes(PAGE_SIZE))
+        mapping = process.address_space.mmap(PAGE_SIZE, prot=Prot.READ)
+        with fs.open("in.bin") as handle:
+            with pytest.raises(SegmentationFault):
+                libc.read(handle, mapping.start, PAGE_SIZE)
+
+
+class TestBulkOps:
+    def test_memset(self, process, libc):
+        ptr = process.malloc(64)
+        libc.memset(int(ptr), 0x42, 64)
+        assert ptr.read_bytes(64) == b"\x42" * 64
+
+    def test_memcpy(self, process, libc):
+        src = process.malloc(64)
+        dst = process.malloc(64)
+        src.write_bytes(b"0123456789")
+        libc.memcpy(int(dst), int(src), 10)
+        assert dst.read_bytes(10) == b"0123456789"
+
+    def test_bulk_ops_charge_cpu_time(self, app, process, libc):
+        ptr = process.malloc(1 << 16)
+        before = app.machine.clock.now
+        libc.memset(int(ptr), 0, 1 << 16)
+        assert app.machine.clock.now > before
+
+
+class TestInterposition:
+    def test_interpose_wraps_and_forwards(self, process, libc, fs):
+        fs.create("in.bin", b"abcd")
+        ptr = process.malloc(8)
+        calls = []
+
+        def factory(default):
+            def wrapper(handle, address, size):
+                calls.append(size)
+                return default(handle, address, size)
+
+            return wrapper
+
+        previous = libc.interpose("read", factory)
+        with fs.open("in.bin") as handle:
+            libc.read(handle, int(ptr), 4)
+        assert calls == [4]
+        assert ptr.read_bytes(4) == b"abcd"
+        libc.restore("read", previous)
+        with fs.open("in.bin") as handle:
+            libc.read(handle, int(ptr), 4)
+        assert calls == [4]  # wrapper no longer active
+
+    def test_unknown_name_rejected(self, libc):
+        with pytest.raises(ValueError):
+            libc.interpose("open", lambda default: default)

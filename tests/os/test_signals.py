@@ -1,0 +1,71 @@
+"""SIGSEGV dispatch."""
+
+import pytest
+
+from repro.util.errors import SegmentationFault
+from repro.sim.clock import SimClock
+from repro.sim.tracing import TimeAccounting, Category
+from repro.os.paging import AccessKind
+from repro.os.signals import SegvInfo, SignalDispatcher
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+class TestDispatch:
+    def test_unhandled_fault_crashes(self, clock):
+        dispatcher = SignalDispatcher(clock)
+        with pytest.raises(SegmentationFault):
+            dispatcher.deliver(SegvInfo(0x1000, AccessKind.WRITE))
+        assert dispatcher.unhandled == 1
+
+    def test_handler_claims_fault(self, clock):
+        dispatcher = SignalDispatcher(clock)
+        seen = []
+        dispatcher.register(lambda info: seen.append(info) or True)
+        dispatcher.deliver(SegvInfo(0x1000, AccessKind.READ))
+        assert seen[0].address == 0x1000
+        assert dispatcher.delivered == 1
+        assert dispatcher.unhandled == 0
+
+    def test_handler_declining_falls_through(self, clock):
+        dispatcher = SignalDispatcher(clock)
+        dispatcher.register(lambda info: False)
+        with pytest.raises(SegmentationFault):
+            dispatcher.deliver(SegvInfo(0x2000, AccessKind.WRITE))
+
+    def test_later_registration_runs_first(self, clock):
+        dispatcher = SignalDispatcher(clock)
+        order = []
+        dispatcher.register(lambda info: order.append("first") or True)
+        dispatcher.register(lambda info: order.append("second") and False)
+        dispatcher.deliver(SegvInfo(0, AccessKind.READ))
+        assert order == ["second", "first"]
+
+    def test_unregister(self, clock):
+        dispatcher = SignalDispatcher(clock)
+        handler = dispatcher.register(lambda info: True)
+        dispatcher.unregister(handler)
+        with pytest.raises(SegmentationFault):
+            dispatcher.deliver(SegvInfo(0, AccessKind.READ))
+
+    def test_delivery_charges_time(self, clock):
+        dispatcher = SignalDispatcher(clock, overhead_s=1e-6)
+        dispatcher.register(lambda info: True)
+        dispatcher.deliver(SegvInfo(0, AccessKind.READ))
+        assert clock.now == pytest.approx(1e-6)
+
+    def test_delivery_charges_signal_category(self, clock):
+        accounting = TimeAccounting(clock)
+        dispatcher = SignalDispatcher(clock, accounting=accounting,
+                                      overhead_s=2e-6)
+        dispatcher.register(lambda info: True)
+        dispatcher.deliver(SegvInfo(0, AccessKind.WRITE))
+        assert accounting.totals[Category.SIGNAL] == pytest.approx(2e-6)
+
+    def test_segv_info_fields(self):
+        info = SegvInfo(0xABC, AccessKind.WRITE)
+        assert info.address == 0xABC
+        assert info.access is AccessKind.WRITE

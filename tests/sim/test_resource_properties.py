@@ -1,0 +1,79 @@
+"""Property-based invariants of the resource timelines.
+
+Whatever the operation mix, a FIFO device never overlaps operations, never
+reorders them, and its drain time equals the last completion.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.clock import SimClock
+from repro.sim.resource import Resource
+
+_operations = st.lists(
+    st.tuples(
+        st.sampled_from(["schedule", "execute", "cpu", "wait-last"]),
+        st.floats(0.0, 1.0),
+    ),
+    max_size=40,
+)
+
+
+class TestTimelineInvariants:
+    @given(_operations)
+    @settings(max_examples=80, deadline=None)
+    def test_fifo_no_overlap_no_regression(self, operations):
+        clock = SimClock()
+        resource = Resource("device", clock)
+        resource.record_history()
+        last = None
+        for op, value in operations:
+            if op == "schedule":
+                last = resource.schedule(value)
+            elif op == "execute":
+                last = resource.execute(value)
+            elif op == "cpu":
+                clock.advance(value)
+            elif op == "wait-last" and last is not None:
+                last.wait()
+
+        completions = resource.completions
+        # FIFO: starts and finishes are non-decreasing; operations never
+        # overlap on the device.
+        for earlier, later in zip(completions, completions[1:]):
+            assert later.start >= earlier.finish
+        for completion in completions:
+            assert completion.finish >= completion.start
+            assert completion.start >= completion.issued_at
+        # Conservation: busy time is the sum of durations.
+        assert resource.busy_time == pytest.approx(
+            sum(c.duration for c in completions)
+        )
+        # Drain lands exactly at the last completion (or now if idle).
+        expected = max(
+            [c.finish for c in completions] + [clock.now]
+        )
+        resource.drain()
+        assert clock.now == pytest.approx(expected)
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_makespan_equals_total_work_when_saturated(self, durations):
+        clock = SimClock()
+        resource = Resource("device", clock)
+        for duration in durations:
+            resource.schedule(duration)
+        resource.drain()
+        assert clock.now == pytest.approx(sum(durations))
+
+    @given(
+        st.floats(0.1, 1.0), st.floats(0.0, 2.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_overlap_pays_only_the_residual(self, transfer, cpu_work):
+        clock = SimClock()
+        resource = Resource("dma", clock)
+        completion = resource.schedule(transfer)
+        clock.advance(cpu_work)
+        completion.wait()
+        assert clock.now == pytest.approx(max(transfer, cpu_work))

@@ -1,0 +1,127 @@
+"""ASCII execution timelines."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.resource import Resource
+from repro.sim.tracing import TimeAccounting, TraceLog, Category
+from repro.sim.timeline import (
+    TimelineRow,
+    rows_from_trace,
+    rows_from_resources,
+    render_timeline,
+    machine_timeline,
+)
+
+
+class TestTimelineRow:
+    def test_busy_time(self):
+        row = TimelineRow("cpu")
+        row.add(0.0, 1.0)
+        row.add(2.0, 2.5)
+        assert row.busy_time == pytest.approx(1.5)
+
+    def test_empty_intervals_dropped(self):
+        row = TimelineRow("cpu")
+        row.add(1.0, 1.0)
+        assert row.intervals == []
+
+
+class TestRowsFromSources:
+    def test_rows_from_trace(self):
+        clock = SimClock()
+        trace = TraceLog()
+        accounting = TimeAccounting(clock, trace=trace)
+        accounting.charge(Category.COPY, 0.5)
+        with accounting.measure(Category.CPU):
+            clock.advance(1.0)
+        rows = rows_from_trace(trace)
+        labels = {row.label for row in rows}
+        assert labels == {"Copy", "CPU"}
+
+    def test_rows_from_resources(self):
+        clock = SimClock()
+        resource = Resource("pcie", clock)
+        resource.record_history()
+        resource.schedule(1.0)
+        resource.schedule(0.5)
+        rows = rows_from_resources([resource])
+        assert rows[0].label == "pcie"
+        assert rows[0].busy_time == pytest.approx(1.5)
+
+    def test_unrecorded_resource_skipped(self):
+        clock = SimClock()
+        silent = Resource("silent", clock)
+        silent.completions = None
+        assert rows_from_resources([]) == []
+
+
+class TestRender:
+    def _row(self, label, *intervals):
+        row = TimelineRow(label)
+        for start, end in intervals:
+            row.add(start, end)
+        return row
+
+    def test_basic_render(self):
+        text = render_timeline(
+            [self._row("cpu", (0.0, 0.5)), self._row("gpu", (0.5, 1.0))],
+            width=20, title="run",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "run"
+        assert "cpu" in lines[1] and "gpu" in lines[2]
+        assert "50.0%" in lines[1]
+
+    def test_busy_buckets_marked(self):
+        text = render_timeline([self._row("cpu", (0.0, 1.0))], width=10)
+        assert "##########" in text
+
+    def test_disjoint_rows_do_not_overlap_columns(self):
+        text = render_timeline(
+            [self._row("a", (0.0, 0.5)), self._row("b", (0.5, 1.0))],
+            width=10,
+        )
+        row_a, row_b = text.splitlines()[0:2]
+        cells_a = row_a.split("|")[1]
+        cells_b = row_b.split("|")[1]
+        assert "#" in cells_a[:5] and "#" not in cells_a[5:]
+        assert "#" in cells_b[5:] and "#" not in cells_b[:5]
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_timeline([TimelineRow("nothing")])
+
+    def test_degenerate_window_rejected(self):
+        with pytest.raises(ValueError):
+            render_timeline([self._row("x", (1.0, 2.0))], start=5.0, end=5.0)
+
+    def test_scale_line_has_times(self):
+        text = render_timeline([self._row("x", (0.0, 0.002))], width=30)
+        assert "0.000ms" in text and "2.000ms" in text
+
+
+class TestMachineTimeline:
+    def test_traced_gmac_run_renders(self, scale_kernel):
+        import numpy as np
+        from repro.hw.machine import reference_system
+        from repro.workloads.base import Application
+
+        machine = reference_system(trace=True)
+        app = Application(machine)
+        gmac = app.gmac(protocol="rolling", layer="driver")
+        ptr = gmac.alloc(1 << 20)
+        ptr.write_array(np.ones((1 << 20) // 4, dtype=np.float32))
+        gmac.call(scale_kernel, data=ptr, n=(1 << 20) // 4, factor=2.0)
+        gmac.sync()
+        ptr.read_bytes(1 << 18)
+        text = machine_timeline(machine, title="gmac run")
+        assert "Copy" in text
+        assert "GPU" in text
+        assert "Signal" in text
+
+    def test_untraced_machine_rejected(self):
+        from repro.hw.machine import reference_system
+
+        with pytest.raises(ValueError):
+            machine_timeline(reference_system())

@@ -1,0 +1,83 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.util.charts import render_chart, chart_from_result, MARKERS
+from repro.experiments.result import ExperimentResult
+
+
+class TestRenderChart:
+    def test_basic_structure(self):
+        chart = render_chart(
+            ["a", "b", "c"], {"s": [1.0, 10.0, 100.0]}, height=5,
+            title="demo",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert "+" in lines[-3]       # axis
+        assert "a" in lines[-2]       # labels
+        assert "o=s" in lines[-1]     # legend
+
+    def test_log_scale_extremes(self):
+        chart = render_chart(["lo", "hi"], {"s": [1.0, 1000.0]}, height=6)
+        lines = chart.splitlines()
+        # Max value sits on the top row, min on the bottom row.
+        assert "o" in lines[0]
+        assert "o" in lines[5]
+        assert lines[0].strip().startswith("1000")
+
+    def test_two_series_use_distinct_markers(self):
+        chart = render_chart(
+            ["x"], {"first": [1.0], "second": [100.0]}, height=4
+        )
+        assert f"{MARKERS[0]}=first" in chart
+        assert f"{MARKERS[1]}=second" in chart
+
+    def test_collision_marked(self):
+        chart = render_chart(["x"], {"a": [5.0], "b": [5.0]}, height=4)
+        assert "!" in chart
+
+    def test_flat_series(self):
+        chart = render_chart(["a", "b"], {"s": [3.0, 3.0]}, height=4)
+        # Both points land on the bottom row (flat series, log floor).
+        assert chart.splitlines()[3].count("o") == 2
+
+    def test_zero_values_plot_on_bottom(self):
+        chart = render_chart(["a", "b"], {"s": [0.0, 10.0]}, height=4)
+        assert "o" in chart.splitlines()[3]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart(["a", "b"], {"s": [1.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart(["a"], {})
+
+    def test_y_label(self):
+        chart = render_chart(["a"], {"s": [1.0]}, y_label="ms")
+        assert "ms" in chart
+
+
+class TestChartFromResult:
+    def _result(self, chart_spec=None):
+        return ExperimentResult(
+            experiment_id="figX",
+            title="demo",
+            paper_claim="",
+            headers=["size", "time ms", "ok"],
+            rows=[["4KB", 10.0, "yes"], ["8KB", 5.0, "yes"]],
+            chart_spec=chart_spec,
+        )
+
+    def test_chart_from_columns(self):
+        chart = chart_from_result(self._result(), "size", ["time ms"])
+        assert "4KB" in chart and "8KB" in chart
+        assert "figX" in chart
+
+    def test_result_chart_method(self):
+        result = self._result(chart_spec=("size", ["time ms"]))
+        assert "time ms" in result.chart()
+
+    def test_unchartable_result_returns_none(self):
+        assert self._result().chart() is None

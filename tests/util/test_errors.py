@@ -1,0 +1,40 @@
+"""The exception hierarchy."""
+
+import pytest
+
+from repro.util.errors import (
+    ReproError,
+    AddressError,
+    AllocationError,
+    ProtectionError,
+    SegmentationFault,
+    IoError,
+    CudaError,
+    GmacError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [AddressError, AllocationError, ProtectionError, SegmentationFault,
+         IoError, CudaError, GmacError],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_one_clause_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise GmacError("boom")
+
+    def test_segfault_carries_context(self):
+        from repro.os.paging import AccessKind
+
+        fault = SegmentationFault(0x1234, AccessKind.WRITE)
+        assert fault.address == 0x1234
+        assert fault.access is AccessKind.WRITE
+        assert "0x1234" in str(fault)
+
+    def test_segfault_custom_message(self):
+        fault = SegmentationFault(0x1, "read", message="custom detail")
+        assert "custom detail" in str(fault)

@@ -1,0 +1,68 @@
+"""Run statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import summarize, geometric_mean
+
+
+class TestSummarize:
+    def test_single_value(self):
+        stats = summarize([3.0])
+        assert stats.count == 1
+        assert stats.mean == 3.0
+        assert stats.stdev == 0.0
+        assert stats.minimum == stats.maximum == 3.0
+
+    def test_known_values(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.stdev == pytest.approx(math.sqrt(5.0 / 3.0))
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_relative_stdev(self):
+        stats = summarize([10.0, 10.0])
+        assert stats.relative_stdev == 0.0
+
+    def test_relative_stdev_zero_mean(self):
+        stats = summarize([-1.0, 1.0])
+        assert stats.relative_stdev == 0.0
+
+    def test_str_mentions_mean(self):
+        assert "mean=" in str(summarize([1.0, 2.0]))
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_bounds_hold(self, values):
+        stats = summarize(values)
+        slack = 1e-9 * max(1.0, abs(stats.maximum), abs(stats.minimum))
+        assert stats.minimum - slack <= stats.mean <= stats.maximum + slack
+        assert stats.stdev >= 0.0
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_identity(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        result = geometric_mean(values)
+        assert min(values) <= result * (1 + 1e-9)
+        assert result <= max(values) * (1 + 1e-9)

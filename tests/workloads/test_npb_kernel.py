@@ -1,0 +1,51 @@
+"""The simulated bandwidth wall (executable Figure 2)."""
+
+import pytest
+
+from repro.util.errors import ReproError
+from repro.hw.specs import PCIE_2_0_X16
+from repro.workloads.npb import NPB_KERNELS
+from repro.workloads.npb_kernel import achieved_ipc, ipc_ceiling
+
+
+class TestAchievedIpc:
+    @pytest.mark.parametrize("name", sorted(NPB_KERNELS))
+    def test_pcie_ceiling_matches_analytic_bound(self, name):
+        simulated = achieved_ipc(name, "pcie", target_ipc=300)
+        analytic = NPB_KERNELS[name].max_ipc(PCIE_2_0_X16.h2d_bytes_per_s)
+        assert simulated == pytest.approx(analytic, rel=0.1)
+
+    @pytest.mark.parametrize("name", sorted(NPB_KERNELS))
+    def test_device_placement_lifts_the_wall(self, name):
+        over_pcie = achieved_ipc(name, "pcie", target_ipc=300)
+        on_device = achieved_ipc(name, "device", target_ipc=300)
+        assert on_device > 5 * over_pcie or over_pcie > 200
+
+    def test_paper_breakpoints_bt_and_ua(self):
+        assert achieved_ipc("bt", "pcie", target_ipc=300) == pytest.approx(
+            50, rel=0.2
+        )
+        assert achieved_ipc("ua", "pcie", target_ipc=300) == pytest.approx(
+            5, rel=0.2
+        )
+
+    def test_low_target_is_not_bandwidth_bound(self):
+        # At IPC 2 even ua fits through PCIe.
+        assert achieved_ipc("ua", "pcie", target_ipc=2) == pytest.approx(
+            2, rel=0.15
+        )
+
+    def test_achieved_never_exceeds_target(self):
+        for placement in ("pcie", "device"):
+            assert achieved_ipc("ep", placement, target_ipc=50) <= 50 * 1.01
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ReproError):
+            achieved_ipc("ft", "pcie")
+        with pytest.raises(ReproError):
+            achieved_ipc("bt", "infiniband")
+
+    def test_ceiling_helper(self):
+        assert ipc_ceiling("mg", "pcie") == pytest.approx(
+            NPB_KERNELS["mg"].max_ipc(PCIE_2_0_X16.h2d_bytes_per_s), rel=0.1
+        )

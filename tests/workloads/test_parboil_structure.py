@@ -1,0 +1,115 @@
+"""Structural assertions per Parboil benchmark.
+
+Figures 7/8/10 depend on each benchmark's *shape* — kernel-call counts,
+I/O mix, CPU access patterns — not just on its outputs.  These tests pin
+the shapes down so a refactor cannot silently change what the experiments
+measure.
+"""
+
+import pytest
+
+from repro.experiments.common import make_workload
+
+
+def _run(name, protocol="rolling", **gmac_options):
+    workload = make_workload(name, quick=True)
+    result = workload.execute(
+        mode="gmac", protocol=protocol,
+        gmac_options={"layer": "driver", **gmac_options},
+    )
+    assert result.verified
+    return workload, result
+
+
+class TestCallCounts:
+    def test_pns_launches_once_per_iteration(self):
+        workload, result = _run("pns")
+        machine = result.extra["machine"]
+        assert machine.gpu.kernels_launched == workload.iterations
+
+    def test_rpes_launches_once_per_root(self):
+        workload, result = _run("rpes")
+        machine = result.extra["machine"]
+        # One launch per quadrature root (the memset is device-side, not a
+        # kernel launch on the engine... it does occupy the engine).
+        assert machine.gpu.kernels_launched == workload.n_roots
+
+    def test_single_shot_benchmarks(self):
+        for name in ("cp", "mri-fhd", "mri-q", "sad", "tpacf"):
+            _, result = _run(name)
+            machine = result.extra["machine"]
+            assert machine.gpu.kernels_launched == 1, name
+
+
+class TestIoMix:
+    def test_mri_benchmarks_read_their_inputs(self):
+        for name in ("mri-fhd", "mri-q"):
+            workload, result = _run(name)
+            machine = result.extra["machine"]
+            assert machine.disk.bytes_read > 0, name
+            assert result.breakdown["IORead"] > 0
+
+    def test_pns_and_rpes_do_no_io(self):
+        for name in ("pns", "rpes"):
+            _, result = _run(name)
+            machine = result.extra["machine"]
+            assert machine.disk.bytes_read == 0
+            assert machine.disk.bytes_written == 0
+
+    def test_sad_reads_two_frames_writes_table(self):
+        workload, result = _run("sad")
+        machine = result.extra["machine"]
+        assert machine.disk.bytes_read == 2 * workload.frame_bytes
+        assert machine.disk.bytes_written == workload.sads_bytes
+
+    def test_cp_writes_the_potential_plane(self):
+        workload, result = _run("cp")
+        machine = result.extra["machine"]
+        assert machine.disk.bytes_written == workload.grid_bytes
+
+
+class TestAccessPatterns:
+    def test_pns_cpu_never_reads_the_marking_until_the_end(self):
+        """Lazy-update moves only the tiny stats object during the loop;
+        the big marking vector returns exactly once (the final read)."""
+        workload, result = _run("pns", protocol="lazy")
+        expected_final = workload.places_bytes
+        samples = workload.iterations // workload.sample_interval
+        stats_page = 4096
+        assert result.bytes_to_host == expected_final + samples * stats_page
+
+    def test_mriq_reads_only_a_prefix_of_q(self):
+        workload, result = _run("mri-q")
+        from repro.util.units import KB
+
+        # rolling fetches ceil(prefix / 256KB) blocks of Q plus the small
+        # output region, strictly less than the whole Q matrix.
+        assert result.bytes_to_host < workload.q_bytes
+
+    def test_tpacf_init_is_multi_pass(self):
+        from repro.workloads.parboil.tpacf import PASSES
+
+        workload, result = _run(
+            "tpacf",
+            protocol_options={"block_size": 128 * 1024, "rolling_size": 1},
+        )
+        # With rolling size 1, every pass re-transfers the input: the H2D
+        # traffic approaches PASSES x the region size.
+        assert result.bytes_to_accelerator > (
+            (PASSES - 1) * workload.points_bytes
+        )
+
+    def test_stencil_sources_touch_one_block(self):
+        from repro.workloads.stencil3d import Stencil3D
+
+        workload = Stencil3D(n=32, steps=4, dump_interval=4)
+        result = workload.execute(
+            mode="gmac", protocol="rolling",
+            gmac_options={"layer": "driver",
+                          "protocol_options": {"block_size": 4096}},
+        )
+        assert result.verified
+        # Each non-dump step moves roughly one block each way, not the
+        # whole volume (the Figure 9 rolling advantage).
+        volume = workload.volume_bytes
+        assert result.bytes_to_accelerator < 2 * volume

@@ -1,0 +1,149 @@
+"""Every workload, every mode, verified against its numpy oracle.
+
+These are the correctness gates behind Figures 7-12: a protocol bug shows
+up here as a numerical mismatch.
+"""
+
+import pytest
+
+from repro.util.units import KB, MB
+from repro.hw.machine import reference_system, integrated_system
+from repro.workloads.vecadd import VectorAdd, transfer_phase_times
+from repro.workloads.stencil3d import Stencil3D
+from repro.experiments.common import make_workload, QUICK_PARAMS
+from repro.workloads.parboil import PARBOIL
+
+MODES = [("cuda", None), ("gmac", "batch"), ("gmac", "lazy"),
+         ("gmac", "rolling")]
+
+
+@pytest.mark.parametrize("name", sorted(PARBOIL))
+@pytest.mark.parametrize("mode, protocol", MODES)
+class TestParboilCorrectness:
+    def test_outputs_match_oracle(self, name, mode, protocol):
+        workload = make_workload(name, quick=True)
+        result = workload.execute(
+            mode=mode, protocol=protocol or "rolling",
+        )
+        assert result.verified, f"{name} {mode}/{protocol} diverged"
+        assert result.elapsed > 0
+        assert result.mode == mode
+
+
+class TestParboilShapes:
+    def test_quick_params_cover_suite(self):
+        assert set(QUICK_PARAMS) == set(PARBOIL)
+
+    def test_pns_batch_is_catastrophic(self):
+        workload = make_workload("pns", quick=True)
+        cuda = workload.execute(mode="cuda")
+        batch = make_workload("pns", quick=True).execute(
+            mode="gmac", protocol="batch"
+        )
+        assert batch.elapsed / cuda.elapsed > 5.0
+
+    def test_pns_lazy_matches_cuda(self):
+        workload = make_workload("pns", quick=True)
+        cuda = workload.execute(mode="cuda")
+        lazy = make_workload("pns", quick=True).execute(
+            mode="gmac", protocol="lazy"
+        )
+        assert lazy.elapsed / cuda.elapsed < 1.5
+
+    def test_gmac_moves_less_data_than_batch(self):
+        name = "rpes"
+        batch = make_workload(name, quick=True).execute(
+            mode="gmac", protocol="batch"
+        )
+        rolling = make_workload(name, quick=True).execute(
+            mode="gmac", protocol="rolling"
+        )
+        assert rolling.bytes_to_accelerator < 0.5 * batch.bytes_to_accelerator
+        assert rolling.bytes_to_host < 0.5 * batch.bytes_to_host
+
+    def test_breakdown_sums_to_elapsed(self):
+        result = make_workload("cp", quick=True).execute(
+            mode="gmac", protocol="rolling"
+        )
+        total = sum(result.breakdown.values())
+        # prepare() charges nothing; everything inside execute is accounted.
+        assert total == pytest.approx(result.elapsed, rel=0.05)
+
+
+class TestVectorAdd:
+    @pytest.mark.parametrize("mode, protocol", MODES)
+    def test_correct(self, mode, protocol):
+        workload = VectorAdd(elements=64 * 1024)
+        result = workload.execute(mode=mode, protocol=protocol or "rolling")
+        assert result.verified
+
+    def test_double_buffered_variant_correct(self):
+        workload = VectorAdd(elements=256 * 1024)
+        result = workload.execute(mode="cuda-db")
+        assert result.verified
+        assert result.mode == "cuda-db"
+
+    def test_double_buffering_beats_synchronous_copies(self):
+        workload = VectorAdd(elements=1024 * 1024)
+        naive = workload.execute(mode="cuda")
+        buffered = VectorAdd(elements=1024 * 1024).execute(mode="cuda-db")
+        assert buffered.elapsed < naive.elapsed
+
+    def test_gmac_overlap_matches_hand_tuned(self):
+        """Section 2.2's second motivation: the overlap double buffering
+        buys with extra code, rolling-update gets for free."""
+        buffered = VectorAdd(elements=1024 * 1024).execute(mode="cuda-db")
+        gmac = VectorAdd(elements=1024 * 1024).execute(
+            mode="gmac", protocol="rolling",
+            gmac_options={"protocol_options": {"block_size": 256 * KB}},
+        )
+        assert gmac.elapsed < buffered.elapsed * 1.15
+
+    def test_phase_instrumentation(self):
+        phases = transfer_phase_times(64 * KB, elements=128 * 1024)
+        assert phases["verified"]
+        assert phases["cpu_to_gpu_s"] >= 0
+        assert phases["gpu_to_cpu_s"] >= 0
+        assert phases["faults"] > 0
+
+    def test_small_blocks_pay_more(self):
+        small = transfer_phase_times(4 * KB, elements=256 * 1024)
+        medium = transfer_phase_times(256 * KB, elements=256 * 1024)
+        assert small["cpu_to_gpu_s"] > medium["cpu_to_gpu_s"]
+        assert small["gpu_to_cpu_s"] > medium["gpu_to_cpu_s"]
+
+
+class TestStencil3D:
+    @pytest.mark.parametrize("mode, protocol", MODES)
+    def test_correct(self, mode, protocol):
+        workload = Stencil3D(n=24, steps=4, dump_interval=2)
+        result = workload.execute(mode=mode, protocol=protocol or "rolling")
+        assert result.verified
+
+    def test_rolling_beats_lazy_on_large_volumes(self):
+        workload = Stencil3D(n=64, steps=10, dump_interval=5)
+        lazy = workload.execute(
+            mode="gmac", protocol="lazy", gmac_options={"layer": "driver"}
+        )
+        rolling = workload.execute(
+            mode="gmac", protocol="rolling",
+            gmac_options={"layer": "driver",
+                          "protocol_options": {"block_size": 256 * KB}},
+        )
+        assert rolling.elapsed < lazy.elapsed
+        assert rolling.bytes_to_host < lazy.bytes_to_host
+
+    def test_runs_on_integrated_machine(self):
+        workload = Stencil3D(n=24, steps=4, dump_interval=2)
+        result = workload.execute(
+            mode="gmac", protocol="rolling", machine=integrated_system()
+        )
+        assert result.verified
+        machine = result.extra["machine"]
+        assert sum(machine.link.bytes_moved.values()) == 0
+
+    def test_unknown_mode_rejected(self):
+        from repro.util.errors import ReproError
+
+        with pytest.raises(ReproError):
+            Stencil3D(n=16, steps=2, dump_interval=2).execute(mode="opencl")
