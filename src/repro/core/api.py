@@ -24,6 +24,7 @@ from repro.core.layers import AcceleratorLayer
 from repro.core.manager import Manager
 from repro.core.protocols import PROTOCOLS
 from repro.core.interpose import GmacInterposer
+from repro.core.recovery import RecoveryPolicy
 
 
 class SharedPtr(Ptr):
@@ -75,6 +76,7 @@ class Gmac:
         interpose=True,
         gpu=None,
         peer_dma=False,
+        recovery=None,
     ):
         if protocol not in PROTOCOLS:
             raise GmacError(
@@ -92,6 +94,16 @@ class Gmac:
             self.manager, **(protocol_options or {})
         )
         self.manager.protocol = self.protocol
+        #: Fault recovery: armed explicitly via ``recovery=`` or
+        #: automatically when the machine carries an enabled fault plan.
+        #: Stays None on fault-free machines, so every hot path below is
+        #: byte-identical to a build without fault injection.
+        if recovery is None and machine.faults is not None and machine.faults.enabled:
+            recovery = RecoveryPolicy()
+        self.recovery = recovery
+        if self.recovery is not None:
+            self.recovery.attach(self)
+            self.manager.recovery = self.recovery
         #: Hardware peer DMA (the paper's Section 7 suggestion): I/O moves
         #: directly between the device and accelerator memory, skipping the
         #: intermediate system-memory copy the software-only GMAC needs.
@@ -124,14 +136,26 @@ class Gmac:
         (the ADSM asymmetry).  ``writes`` optionally lists the shared
         pointers the kernel writes (the Section 4.3 annotation hook);
         unlisted objects then stay valid on the host.
+
+        With recovery armed (faulty machine), the launch runs under
+        :meth:`RecoveryPolicy.run_call`: transient launch rejections are
+        retried with backoff, and a device-lost event re-materialises
+        accelerator memory from the host-canonical copies before the call
+        sequence is re-issued.
         """
+        written = None
+        if writes is not None:
+            written = {self.manager.region_at(int(ptr)) for ptr in writes}
+            if None in written:
+                raise GmacError("writes annotation names a non-shared pointer")
+        if self.recovery is not None:
+            return self.recovery.run_call(self, kernel, written, args)
+        return self._issue_call(kernel, written, args)
+
+    def _issue_call(self, kernel, written, args):
+        """One attempt at the release+launch sequence (no recovery)."""
         with self.accounting.measure(Category.LAUNCH, label=kernel.name):
             self.machine.clock.advance(self.costs.api_call_s)
-            written = None
-            if writes is not None:
-                written = {self.manager.region_at(int(ptr)) for ptr in writes}
-                if None in written:
-                    raise GmacError("writes annotation names a non-shared pointer")
             earliest = self.manager.release_for_call(written=written)
             device_args = {}
             for key, value in args.items():

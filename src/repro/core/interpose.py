@@ -87,7 +87,11 @@ class GmacInterposer:
                 self.manager, Interval.sized(address, size)
             ):
                 if region is None:
-                    total += default(handle, piece.start, piece.size)
+                    # Plain memory cannot fault, but a faulty disk can still
+                    # deliver short; keep the POSIX resume loop here too.
+                    total += self._read_fully(
+                        default, handle, piece.start, piece.size
+                    )
                     continue
                 for block, chunk, full in block_pieces(region, piece):
                     if full and self.gmac.peer_dma:
@@ -96,10 +100,31 @@ class GmacInterposer:
                     # Pre-fault the chunk's block so the (un-restartable)
                     # copy below cannot trip over a protection boundary.
                     self.process.touch(chunk.start, chunk.size, AccessKind.WRITE)
-                    total += default(handle, chunk.start, chunk.size)
+                    total += self._read_fully(
+                        default, handle, chunk.start, chunk.size
+                    )
             return total
 
         return read
+
+    def _read_fully(self, default, handle, start, size):
+        """Resume short reads until the chunk is full or EOF.
+
+        POSIX read() may deliver a prefix (and a faulty disk will); because
+        the chunk's block is already pre-faulted, re-issuing the call for
+        the remainder is safe — unlike the un-interposed path, where a
+        partial read that then faults is not restartable (Section 4.4).
+        """
+        total = int(default(handle, start, size))
+        while 0 < total < size:
+            got = int(default(handle, start + total, size - total))
+            if got == 0:
+                break  # genuine end of file, not a short delivery
+            total += got
+            recovery = self.gmac.manager.recovery
+            if recovery is not None:
+                recovery.note_short_read_resume()
+        return total
 
     def _peer_read(self, handle, block):
         """Hardware peer DMA: file data lands straight in device memory.
@@ -221,11 +246,12 @@ class GmacInterposer:
                     # destination buffer, never faulting the block in.
                     device = src_region.device_address_of(chunk.start)
                     manager.bytes_to_host += chunk.size
-                    self.gmac.layer.to_host(
-                        dst_start + (chunk.start - src_piece.start),
-                        device,
-                        chunk.size,
-                        sync=True,
+                    host = dst_start + (chunk.start - src_piece.start)
+                    manager._attempt_transfer(
+                        lambda: self.gmac.layer.to_host(
+                            host, device, chunk.size, sync=True
+                        ),
+                        label="memcpy:d2h",
                     )
                 else:
                     default(
@@ -259,8 +285,11 @@ class GmacInterposer:
             elif src_region is None:
                 # Plain -> shared: one DMA instead of fault-by-fault writes.
                 manager.bytes_to_accelerator += chunk.size
-                self.gmac.layer.to_device(
-                    device_dst, chunk_src, chunk.size, sync=True
+                manager._attempt_transfer(
+                    lambda: self.gmac.layer.to_device(
+                        device_dst, chunk_src, chunk.size, sync=True
+                    ),
+                    label="memcpy:h2d",
                 )
             else:
                 # The source straddles a shared boundary; keep it simple.

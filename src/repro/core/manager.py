@@ -29,6 +29,9 @@ class Manager:
         self.accounting = machine.accounting
         self.clock = machine.clock
         self.protocol = None  # installed by Gmac after construction
+        #: Optional RecoveryPolicy (installed by Gmac when the machine has
+        #: an enabled fault plan).  None keeps every path unchanged.
+        self.recovery = None
         self._regions = RangeMap()
         self._block_index = AvlTree()
         self._allocation_counter = 0
@@ -59,7 +62,7 @@ class Manager:
         with self.accounting.measure(Category.MALLOC, label=name):
             self.clock.advance(self.costs.api_call_s)
             if safe:
-                device_start = self.layer.alloc(size)
+                device_start = self._device_alloc(lambda: self.layer.alloc(size))
                 self.clock.advance(self.costs.mmap_s)
                 mapping = self.process.address_space.mmap(size, Prot.RW)
                 host_start = mapping.start
@@ -67,14 +70,16 @@ class Manager:
                 # Section 4.2's collision-free path: with accelerator
                 # virtual memory, negotiate one virtual range free on BOTH
                 # processors and map it on each side.
-                device_start = self._alloc_common_range(name, size)
+                device_start = self._device_alloc(
+                    lambda: self._alloc_common_range(name, size)
+                )
                 self.clock.advance(self.costs.mmap_s)
                 self.process.address_space.mmap(
                     size, Prot.RW, fixed_address=device_start
                 )
                 host_start = device_start
             else:
-                device_start = self.layer.alloc(size)
+                device_start = self._device_alloc(lambda: self.layer.alloc(size))
                 self.clock.advance(self.costs.mmap_s)
                 try:
                     self.process.address_space.mmap(
@@ -100,6 +105,13 @@ class Manager:
             self.clock.advance(self.costs.block_setup_s * len(region.blocks))
             self.protocol.on_alloc(region)
         return region
+
+    def _device_alloc(self, thunk):
+        """One device allocation; device OOM triggers forced eviction and a
+        bounded retry when recovery is armed (see RecoveryPolicy.retry_alloc)."""
+        if self.recovery is not None:
+            return self.recovery.retry_alloc(thunk, self.protocol)
+        return thunk()
 
     def _alloc_common_range(self, name, size):
         """Find and claim a virtual range free on the host AND the device.
@@ -193,6 +205,17 @@ class Manager:
 
     # -- data movement ------------------------------------------------------------------
 
+    def _attempt_transfer(self, thunk, label):
+        """One logical transfer; retried with backoff under a fault plan.
+
+        Runs inside the caller's Copy measurement, so backoff time (an
+        inner Retry charge) is subtracted from Copy and the break-down
+        keeps recovery overhead as its own category.
+        """
+        if self.recovery is not None:
+            return self.recovery.retry_transfer(thunk, label=label)
+        return thunk()
+
     def flush_to_device(self, block, sync=True):
         """Copy a block's host bytes to accelerator memory.
 
@@ -203,22 +226,33 @@ class Manager:
         self.bytes_to_accelerator += block.size
         if sync:
             with self.accounting.measure(Category.COPY, label=f"flush:{block.region.name}"):
-                return self.layer.to_device(
-                    block.device_start, block.host_start, block.size, sync=True
+                return self._attempt_transfer(
+                    lambda: self.layer.to_device(
+                        block.device_start, block.host_start, block.size,
+                        sync=True,
+                    ),
+                    label=f"flush:{block.region.name}",
                 )
         self.eager_bytes_to_accelerator += block.size
         with self.accounting.measure(Category.COPY, label=f"eager:{block.region.name}"):
             # Only the issue cost lands on the CPU; the DMA itself overlaps.
-            return self.layer.to_device(
-                block.device_start, block.host_start, block.size, sync=False
+            return self._attempt_transfer(
+                lambda: self.layer.to_device(
+                    block.device_start, block.host_start, block.size,
+                    sync=False,
+                ),
+                label=f"eager:{block.region.name}",
             )
 
     def fetch_to_host(self, block):
         """Copy a block's accelerator bytes back to the host (synchronous)."""
         self.bytes_to_host += block.size
         with self.accounting.measure(Category.COPY, label=f"fetch:{block.region.name}"):
-            return self.layer.to_host(
-                block.host_start, block.device_start, block.size, sync=True
+            return self._attempt_transfer(
+                lambda: self.layer.to_host(
+                    block.host_start, block.device_start, block.size, sync=True
+                ),
+                label=f"fetch:{block.region.name}",
             )
 
     def ensure_device_canonical(self, region, interval):

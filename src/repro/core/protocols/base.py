@@ -76,3 +76,27 @@ class Protocol(abc.ABC):
         from repro.os.paging import Prot
 
         self.manager.set_region_blocks(region, BlockState.INVALID, Prot.NONE)
+
+    # -- fault recovery hooks (see repro.core.recovery) --------------------------
+
+    def force_evict(self):
+        """Relieve device-memory pressure after a cudaMalloc OOM.
+
+        Protocols with device-side staging state override this (rolling:
+        drain the dirty FIFO, shrink the rolling size).  Returns the number
+        of blocks evicted; the stateless default has nothing to give back.
+        """
+        return 0
+
+    def after_device_recovery(self, regions):
+        """Reset resting states after device loss re-materialisation.
+
+        Every block was just flushed, so both copies match: READ_ONLY with
+        read protection lets fault-driven protocols resume precisely.
+        Batch-update overrides (it runs without protections).
+        """
+        from repro.core.blocks import BlockState
+        from repro.os.paging import Prot
+
+        for region in regions:
+            self.manager.set_region_blocks(region, BlockState.READ_ONLY, Prot.READ)

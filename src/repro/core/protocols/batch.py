@@ -58,3 +58,10 @@ class BatchUpdate(Protocol):
         for block in region.blocks:
             self.manager.fetch_to_host(block)
             block.state = BlockState.DIRTY
+
+    def after_device_recovery(self, regions):
+        # Batch runs unprotected with host copies always writable; the
+        # recovery flush made both sides match, so DIRTY/RW is the resting
+        # state (a redundant re-flush at the next call is batch's nature).
+        for region in regions:
+            self.manager.set_region_blocks(region, BlockState.DIRTY, Prot.RW)

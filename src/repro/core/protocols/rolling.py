@@ -166,3 +166,25 @@ class RollingUpdate(Protocol):
     def invalidate_region(self, region):
         self.on_free(region)  # drop cache entries; states reset below
         super().invalidate_region(region)
+
+    # -- fault recovery hooks ---------------------------------------------------
+
+    def force_evict(self):
+        """OOM relief: flush the whole dirty FIFO synchronously and halve
+        the rolling size, so fewer blocks are staged toward the device at
+        once while memory stays scarce."""
+        evicted = 0
+        while self._dirty:
+            block = self._dirty.popleft()
+            self.manager.flush_to_device(block, sync=True)
+            self.manager.set_block(block, BlockState.READ_ONLY, Prot.READ)
+            evicted += 1
+        self.rolling_size = max(1, self.rolling_size // 2)
+        return evicted
+
+    def after_device_recovery(self, regions):
+        # The eviction pipeline died with the device: every staged block
+        # was re-flushed by the recovery replay, so the FIFO starts empty.
+        self._dirty.clear()
+        self._last_eviction = None
+        super().after_device_recovery(regions)

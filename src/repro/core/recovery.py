@@ -1,0 +1,313 @@
+"""Fault recovery on top of ADSM's host-resident coherence state.
+
+The paper's central asymmetry — all coherence state and actions live on
+the CPU — makes the host side a natural recovery point: GMAC always knows
+which blocks are host-canonical (DIRTY / READ_ONLY) and can re-create the
+accelerator's entire memory image from them.  :class:`RecoveryPolicy`
+exploits that in four ways:
+
+* **transient transfer faults** — bounded retry with virtual-time
+  exponential backoff; the failed attempts occupy the PCIe timeline (see
+  :meth:`repro.hw.interconnect.Link.faulted_transfer`) and the backoff
+  waits are charged to the ``Retry`` accounting category, so the chaos
+  experiment can report recovery overhead as its own break-down column;
+* **device OOM** — ``cudaMalloc`` failures trigger forced eager eviction
+  of the protocol's dirty blocks plus a rolling-size shrink (relieving
+  device-side staging pressure) before the allocation is retried;
+* **device loss** — the context is revived (device reset), every region's
+  allocation is replayed at its old address, and all blocks are flushed
+  from host-canonical state.  This is sound because device loss is only
+  injected at kernel-launch time (see :mod:`repro.faults.plan`): at that
+  point the host has just released — i.e. fully flushed — the shared
+  objects, so accelerator memory holds nothing the host has not seen;
+* **protocol degradation** — when the observed fault rate crosses a
+  threshold the coherence protocol is downgraded rolling -> lazy -> batch
+  at a call boundary: fewer, larger, synchronous transfers are easier to
+  retry than a deep asynchronous eviction pipeline.
+
+A ``RecoveryPolicy`` is armed automatically by :class:`repro.core.api.Gmac`
+whenever the machine has an *enabled* fault plan installed; without one,
+every hook below stays un-entered and fault-free runs are byte-identical
+to the pre-fault-injection library.
+"""
+
+from repro.util.errors import (
+    CudaOutOfMemoryError,
+    DeviceLostError,
+    LaunchError,
+    RetryExhaustedError,
+    TransferError,
+)
+from repro.sim.tracing import Category
+
+
+class RecoveryPolicy:
+    """Retry, re-materialisation and degradation decisions for one Gmac."""
+
+    def __init__(self,
+                 max_transfer_retries=8,
+                 max_launch_retries=5,
+                 max_oom_retries=4,
+                 max_device_recoveries=3,
+                 backoff_base_s=20e-6,
+                 backoff_factor=2.0,
+                 max_backoff_s=5e-3,
+                 device_reset_s=20e-3,
+                 degrade_threshold=0.15,
+                 degrade_min_attempts=24,
+                 checkpoint_before_call="auto"):
+        self.max_transfer_retries = max_transfer_retries
+        self.max_launch_retries = max_launch_retries
+        self.max_oom_retries = max_oom_retries
+        self.max_device_recoveries = max_device_recoveries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_factor = backoff_factor
+        self.max_backoff_s = max_backoff_s
+        self.device_reset_s = device_reset_s
+        self.degrade_threshold = degrade_threshold
+        self.degrade_min_attempts = degrade_min_attempts
+        self.checkpoint_before_call = checkpoint_before_call
+        self.gmac = None
+        # Observed (not plan-side) fault pressure, driving degradation.
+        self.transfer_attempts = 0
+        self.transfer_faults = 0
+        self.stats = {
+            "transfer_retries": 0,
+            "launch_retries": 0,
+            "oom_retries": 0,
+            "device_recoveries": 0,
+            "blocks_rematerialized": 0,
+            "short_read_resumes": 0,
+            "backoff_s": 0.0,
+            "checkpoint_s": 0.0,
+            "rematerialize_s": 0.0,
+            "degradations": [],
+        }
+
+    def attach(self, gmac):
+        self.gmac = gmac
+        return self
+
+    # -- shared plumbing ------------------------------------------------------
+
+    @property
+    def _clock(self):
+        return self.gmac.machine.clock
+
+    def _backoff(self, delay, label):
+        """Exponential-backoff wait on the virtual clock, charged to Retry."""
+        self._clock.advance(delay)
+        self.gmac.accounting.charge(Category.RETRY, delay, label=label)
+        self.stats["backoff_s"] += delay
+
+    @property
+    def observed_fault_rate(self):
+        if self.transfer_attempts == 0:
+            return 0.0
+        return self.transfer_faults / self.transfer_attempts
+
+    # -- transient transfer faults -------------------------------------------
+
+    def retry_transfer(self, attempt, label="transfer"):
+        """Run one DMA thunk with bounded retry + exponential backoff.
+
+        ``attempt`` performs a single transfer attempt (sync or async
+        issue) and raises :class:`TransferError` on an injected fault.
+        """
+        delay = self.backoff_base_s
+        failures = 0
+        while True:
+            self.transfer_attempts += 1
+            try:
+                return attempt()
+            except TransferError as error:
+                self.transfer_faults += 1
+                failures += 1
+                if failures > self.max_transfer_retries:
+                    raise RetryExhaustedError(
+                        f"{label}: still failing after {failures} attempts",
+                        attempts=failures, last_error=error,
+                        timestamp=self._clock.now, resource=error.resource,
+                    ) from error
+                self.stats["transfer_retries"] += 1
+                self._backoff(delay, label=f"backoff:{label}")
+                delay = min(delay * self.backoff_factor, self.max_backoff_s)
+
+    # -- device OOM ----------------------------------------------------------
+
+    def retry_alloc(self, attempt, protocol, label="cudaMalloc"):
+        """Allocate with OOM relief: evict, shrink, back off, retry."""
+        delay = self.backoff_base_s
+        failures = 0
+        while True:
+            try:
+                return attempt()
+            except CudaOutOfMemoryError as error:
+                failures += 1
+                if failures > self.max_oom_retries:
+                    raise RetryExhaustedError(
+                        f"{label}: device OOM persisted after {failures} "
+                        "attempts (eviction and rolling-size shrink did "
+                        "not help)",
+                        attempts=failures, last_error=error,
+                        timestamp=self._clock.now, resource=error.resource,
+                    ) from error
+                self.stats["oom_retries"] += 1
+                protocol.force_evict()
+                self._backoff(delay, label="backoff:oom")
+                delay = min(delay * self.backoff_factor, self.max_backoff_s)
+
+    # -- kernel calls: launch faults and device loss ---------------------------
+
+    def run_call(self, gmac, kernel, written, args):
+        """Issue one adsmCall with full recovery around it.
+
+        Retries transient launch rejections with backoff; on device loss,
+        re-materialises all regions from host-canonical state and
+        re-issues the whole release+launch sequence (the re-issued
+        ``pre_call`` re-applies the protocol's invalidations).
+        """
+        self.maybe_degrade()
+        if self._should_checkpoint():
+            self.checkpoint()
+        delay = self.backoff_base_s
+        launch_failures = 0
+        while True:
+            try:
+                return gmac._issue_call(kernel, written, args)
+            except DeviceLostError as error:
+                self.recover_device_loss(error)
+            except LaunchError as error:
+                launch_failures += 1
+                if launch_failures > self.max_launch_retries:
+                    raise RetryExhaustedError(
+                        f"launch of {kernel.name!r}: still rejected after "
+                        f"{launch_failures} attempts",
+                        attempts=launch_failures, last_error=error,
+                        timestamp=self._clock.now, resource=error.resource,
+                    ) from error
+                self.stats["launch_retries"] += 1
+                self._backoff(delay, label="backoff:launch")
+                delay = min(delay * self.backoff_factor, self.max_backoff_s)
+
+    def _should_checkpoint(self):
+        """Whether to pay the checkpoint premium before this call.
+
+        ``checkpoint_before_call`` is a policy knob: ``True`` insures every
+        call, ``False`` none.  The default ``"auto"`` checkpoints only
+        while the installed plan declares a device-loss hazard that has
+        not fired yet — the simulation's stand-in for a deployment flag
+        saying "this accelerator is known to fall off the bus" — so purely
+        transient fault plans do not pay per-call fetches they never need.
+        """
+        if self.checkpoint_before_call != "auto":
+            return bool(self.checkpoint_before_call)
+        plan = self.gmac.machine.faults
+        return (plan is not None
+                and plan.device_lost_at_launch is not None
+                and plan.device_losses == 0)
+
+    def checkpoint(self):
+        """Make every block host-canonical at the call boundary.
+
+        Fetches INVALID blocks (outputs of earlier kernels not yet read by
+        the CPU) so that, should the device die during the upcoming
+        release/launch window, nothing exists only in accelerator memory.
+        The cost is part of the reported recovery overhead.
+        """
+        manager = self.gmac.manager
+        start = self._clock.now
+        for region in manager.regions():
+            manager.ensure_host_canonical(region, region.interval)
+        self.stats["checkpoint_s"] += self._clock.now - start
+
+    def recover_device_loss(self, error):
+        """Re-materialise the accelerator after a device-lost event.
+
+        Revive the context (device reset), replay every region's
+        allocation at its old device address, flush all blocks from the
+        host-canonical copies, then let the protocol reset its resting
+        states.  Valid precisely because the CPU side holds all coherence
+        state in ADSM — the paper's asymmetry is what makes the host a
+        complete checkpoint.
+        """
+        if self.stats["device_recoveries"] >= self.max_device_recoveries:
+            raise RetryExhaustedError(
+                f"device lost {self.stats['device_recoveries'] + 1} times; "
+                "giving up",
+                attempts=self.stats["device_recoveries"] + 1,
+                last_error=error, timestamp=self._clock.now,
+                resource=error.resource,
+            ) from error
+        self.stats["device_recoveries"] += 1
+        gmac = self.gmac
+        manager = gmac.manager
+        start = self._clock.now
+        driver = gmac.layer.driver
+        driver.revive()
+        self._backoff(self.device_reset_s, label="device-reset")
+        regions = sorted(manager.regions(), key=lambda r: r.device_start)
+        for region in regions:
+            driver.restore_allocation(region.device_start, region.size)
+            for block in region.blocks:
+                manager.flush_to_device(block, sync=True)
+                self.stats["blocks_rematerialized"] += 1
+        gmac.protocol.after_device_recovery(regions)
+        self.stats["rematerialize_s"] += self._clock.now - start
+
+    # -- degradation -----------------------------------------------------------
+
+    #: rolling -> lazy -> batch; each step trades performance for fewer,
+    #: simpler (synchronous, whole-object) transfers under fault pressure.
+    DEGRADATION_ORDER = ("rolling", "lazy", "batch")
+
+    def maybe_degrade(self, at_rate=None):
+        """Downgrade the protocol when the observed fault rate is too high.
+
+        Called at call boundaries (a safe point: no fault handler or
+        transfer is mid-flight).  After a switch the observation window
+        resets, so each protocol stage is judged on its own traffic.
+        """
+        if self.transfer_attempts < self.degrade_min_attempts:
+            return None
+        rate = self.observed_fault_rate if at_rate is None else at_rate
+        if rate <= self.degrade_threshold:
+            return None
+        current = self.gmac.protocol.name
+        try:
+            position = self.DEGRADATION_ORDER.index(current)
+        except ValueError:
+            return None
+        if position + 1 >= len(self.DEGRADATION_ORDER):
+            return None
+        target = self.DEGRADATION_ORDER[position + 1]
+        self._switch_protocol(current, target, rate)
+        self.transfer_attempts = 0
+        self.transfer_faults = 0
+        return target
+
+    def _switch_protocol(self, current, target, rate):
+        from repro.core.protocols import PROTOCOLS
+        from repro.core.blocks import BlockState
+        from repro.os.paging import Prot
+
+        gmac = self.gmac
+        manager = gmac.manager
+        replacement = PROTOCOLS[target](manager)
+        if target == "batch":
+            # Batch-update runs without protections and treats host copies
+            # as always-canonical, so the host must be made whole first.
+            for region in manager.regions():
+                manager.ensure_host_canonical(region, region.interval)
+                manager.set_region_blocks(region, BlockState.DIRTY, Prot.RW)
+        gmac.protocol = replacement
+        manager.protocol = replacement
+        self.stats["degradations"].append(
+            {"at": self._clock.now, "from": current, "to": target,
+             "observed_rate": round(rate, 4)}
+        )
+
+    # -- I/O -------------------------------------------------------------------
+
+    def note_short_read_resume(self):
+        self.stats["short_read_resumes"] += 1

@@ -12,7 +12,15 @@ engines ignore page protections, which is exactly why GMAC can keep shared
 pages protected while transferring them.
 """
 
-from repro.util.errors import CudaError
+from repro.util.errors import (
+    AllocationError,
+    CudaError,
+    CudaOutOfMemoryError,
+    DeviceLostError,
+    InvalidDeviceAddressError,
+    LaunchError,
+    TransferError,
+)
 from repro.hw.interconnect import Direction
 
 
@@ -90,22 +98,126 @@ class DriverContext:
         self.clock = machine.clock
         self.default_stream = Stream("default")
         self.allocations = {}
+        #: False after a device-lost event: the context is dead and every
+        #: operation on it fails until :meth:`revive` resets the device.
+        self.alive = True
 
     def _driver_call(self):
         self.clock.advance(self.CALL_OVERHEAD_S)
+
+    # -- fault injection and context liveness -------------------------------------
+
+    @property
+    def faults(self):
+        """The machine's installed fault plan (None = no injection)."""
+        return self.machine.faults
+
+    def _check_alive(self):
+        if not self.alive:
+            raise DeviceLostError(
+                f"operation on dead context: {self.gpu.spec.name} was lost",
+                timestamp=self.clock.now, resource=self.gpu.spec.name,
+            )
+
+    def _maybe_fail_transfer(self, direction, size):
+        """Consult the fault plan before a DMA; transient faults occupy the
+        link for the attempt's full duration before surfacing (the engine
+        reports the error at completion time)."""
+        plan = self.faults
+        if plan is None or not plan.enabled or self.machine.integrated:
+            return
+        if plan.transfer_fault(d2h=direction is Direction.D2H) is None:
+            return
+        completion = self.link.faulted_transfer(size, direction)
+        completion.wait()
+        raise TransferError(
+            f"DMA of {size} bytes {direction} failed (transient)",
+            direction=direction, size=size,
+            timestamp=self.clock.now,
+            resource=f"{self.link.spec.name} {direction}",
+        )
+
+    def _maybe_fail_malloc(self, size):
+        plan = self.faults
+        if plan is None or not plan.enabled:
+            return
+        if plan.malloc_fault():
+            raise CudaOutOfMemoryError(
+                f"cuMemAlloc of {size} bytes failed (injected OOM)",
+                size=size, timestamp=self.clock.now,
+                resource=self.gpu.spec.name, transient=True,
+            )
+
+    def _maybe_fail_launch(self, kernel):
+        plan = self.faults
+        if plan is None or not plan.enabled:
+            return
+        outcome = plan.launch_fault()
+        if outcome is None:
+            return
+        from repro.faults.plan import DEVICE_LOST
+
+        if outcome == DEVICE_LOST:
+            self.alive = False
+            raise DeviceLostError(
+                f"device lost launching {kernel.name!r}",
+                timestamp=self.clock.now, resource=self.gpu.spec.name,
+            )
+        raise LaunchError(
+            f"launch of {kernel.name!r} rejected by the driver (transient)",
+            kernel=kernel.name, timestamp=self.clock.now,
+            resource=self.gpu.spec.name,
+        )
+
+    def revive(self):
+        """Driver-level device reset after a device-lost event.
+
+        The device comes back empty: memory contents and allocations are
+        gone and must be replayed through :meth:`restore_allocation`.  Only
+        meaningful for recovery code — see
+        :meth:`repro.core.recovery.RecoveryPolicy.recover_device_loss`.
+        """
+        self.gpu.reset()
+        self.allocations = {}
+        self.default_stream = Stream("default")
+        self.alive = True
+
+    def restore_allocation(self, address, size):
+        """Replay one allocation at its pre-reset address.
+
+        Placement allocation is always possible here (unlike
+        :meth:`mem_alloc_at`, which needs accelerator virtual memory):
+        the device heap is empty after a reset, so the old first-fit
+        layout is free by construction.
+        """
+        self._driver_call()
+        self._check_alive()
+        result = self.gpu.memory.alloc_at(address, size)
+        self.allocations[result] = size
+        return result
 
     # -- memory management --------------------------------------------------------
 
     def mem_alloc(self, size):
         """cuMemAlloc: returns a device address."""
         self._driver_call()
-        address = self.gpu.memory.alloc(size)
+        self._check_alive()
+        self._maybe_fail_malloc(size)
+        try:
+            address = self.gpu.memory.alloc(size)
+        except AllocationError as exc:
+            raise CudaOutOfMemoryError(
+                f"cuMemAlloc of {size} bytes failed: {exc}",
+                size=size, timestamp=self.clock.now,
+                resource=self.gpu.spec.name,
+            ) from exc
         self.allocations[address] = size
         return address
 
     def mem_alloc_at(self, address, size):
         """cuMemAlloc at a chosen virtual address (VM accelerators only)."""
         self._driver_call()
+        self._check_alive()
         if not self.gpu.spec.virtual_memory:
             raise CudaError(
                 f"{self.gpu.spec.name} has no virtual memory; "
@@ -116,10 +228,19 @@ class DriverContext:
         return result
 
     def mem_free(self, address):
-        """cuMemFree."""
+        """cuMemFree.
+
+        Unknown addresses — including a second free of the same address —
+        raise :class:`InvalidDeviceAddressError`, never ``KeyError``.
+        """
         self._driver_call()
         if address not in self.allocations:
-            raise CudaError(f"cuMemFree of unknown device address {address:#x}")
+            raise InvalidDeviceAddressError(
+                f"cuMemFree of unknown or already-freed device address "
+                f"{address:#x}",
+                address=address, timestamp=self.clock.now,
+                resource=self.gpu.spec.name,
+            )
         del self.allocations[address]
         self.gpu.memory.free(address)
 
@@ -128,6 +249,8 @@ class DriverContext:
     def memcpy_h2d(self, device, host, size, stream=None, sync=True):
         """Copy host -> device.  Returns the transfer Completion."""
         self._driver_call()
+        self._check_alive()
+        self._maybe_fail_transfer(Direction.H2D, size)
         # Direct view-to-view copy: one memmove, like a real DMA engine
         # (which also ignores page protections on the host side).
         source = self.process.address_space.view(host, "u1", size)
@@ -140,6 +263,8 @@ class DriverContext:
     def memcpy_d2h(self, host, device, size, stream=None, sync=True):
         """Copy device -> host.  Returns the transfer Completion."""
         self._driver_call()
+        self._check_alive()
+        self._maybe_fail_transfer(Direction.D2H, size)
         source = self.gpu.memory.view(device, "u1", size)
         self.process.address_space.view(host, "u1", size)[:] = source
         completion = self._schedule_transfer(size, Direction.D2H, stream)
@@ -150,6 +275,7 @@ class DriverContext:
     def memcpy_d2d(self, destination, source, size):
         """Copy device -> device over the GPU's own memory (fast path)."""
         self._driver_call()
+        self._check_alive()
         data = self.gpu.memory.read(source, size)
         self.gpu.memory.write(destination, data)
         duration = 2 * size / self.gpu.spec.memory_bandwidth_bytes_per_s
@@ -158,6 +284,7 @@ class DriverContext:
     def memset_d8(self, device, value, size):
         """8-bit device memset, timed against device memory bandwidth."""
         self._driver_call()
+        self._check_alive()
         self.gpu.memory.fill(device, value, size)
         duration = size / self.gpu.spec.memory_bandwidth_bytes_per_s
         return self.gpu.engine.execute(duration, label="memset")
@@ -183,8 +310,14 @@ class DriverContext:
 
         ``earliest`` lets callers thread data dependencies (e.g. "after all
         pending host-to-device evictions"), on top of stream ordering.
+
+        Launching on a dead context raises :class:`DeviceLostError`; an
+        injected transient rejection raises :class:`LaunchError` *before*
+        the kernel has any effect on device memory.
         """
         self._driver_call()
+        self._check_alive()
+        self._maybe_fail_launch(kernel)
         duration = kernel.duration_on(self.gpu, args)
         kernel.execute(self.gpu, args)
         dependency = earliest

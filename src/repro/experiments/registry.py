@@ -12,6 +12,7 @@ from repro.experiments import (
     porting,
     motivation,
     ablations,
+    chaos,
 )
 
 #: Experiment id -> module.  Every table and figure in the paper's
@@ -28,6 +29,7 @@ REGISTRY = {
     "porting": porting,
     "motivation": motivation,
     "ablations": ablations,
+    "chaos": chaos,
 }
 
 

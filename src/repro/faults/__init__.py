@@ -1,0 +1,32 @@
+"""Deterministic fault injection for the simulated accelerator stack.
+
+The package provides :class:`~repro.faults.plan.FaultPlan` — a seeded,
+replayable schedule of transient PCIe transfer failures, cudaMalloc OOMs,
+kernel-launch failures, device-lost events and disk short-reads.  Install
+one on a machine with :meth:`repro.hw.machine.Machine.install_faults`; the
+recovery machinery lives in :mod:`repro.core.recovery`.
+"""
+
+from repro.faults.plan import (
+    FaultPlan,
+    DEVICE_LOST,
+    TRANSIENT,
+    SITE_TRANSFER_H2D,
+    SITE_TRANSFER_D2H,
+    SITE_MALLOC,
+    SITE_LAUNCH,
+    SITE_DISK_READ,
+    SITES,
+)
+
+__all__ = [
+    "FaultPlan",
+    "DEVICE_LOST",
+    "TRANSIENT",
+    "SITE_TRANSFER_H2D",
+    "SITE_TRANSFER_D2H",
+    "SITE_MALLOC",
+    "SITE_LAUNCH",
+    "SITE_DISK_READ",
+    "SITES",
+]

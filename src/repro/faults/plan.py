@@ -1,0 +1,182 @@
+"""Seeded, deterministic fault-injection plans.
+
+A :class:`FaultPlan` is consulted by the hardware, CUDA-driver and OS
+layers at their injection points (:data:`SITES`).  Every decision comes
+from a per-site ``random.Random`` stream seeded from ``(seed, site)``, so
+
+* a given plan replays identically on every run (the simulator itself is
+  deterministic, so the sequence of consultations is too), and
+* decisions at one site never perturb another site's stream.
+
+The plan only *decides*; the layers raise the typed errors
+(:class:`~repro.util.errors.TransferError`,
+:class:`~repro.util.errors.LaunchError`, ...) and the recovery machinery
+in :mod:`repro.core.recovery` reacts.  With :meth:`FaultPlan.none` (or no
+plan installed at all) every injection point is a zero-cost no-op: not
+even the RNG streams are advanced, so fault-free runs are byte-identical
+to a build without the hooks.
+
+Device-lost events are injected at the *kernel-launch* site only.  That
+window — after GMAC has released (flushed) shared objects, before the
+kernel has produced anything the host has not seen — is exactly where the
+host-resident coherence state of ADSM is a complete checkpoint, so
+recovery by re-materialisation is sound.  Losing the device while results
+exist only in accelerator memory would require kernel re-execution logs,
+which is out of scope.
+"""
+
+import random
+
+#: Injection-point identifiers, also the keys of the per-plan counters.
+SITE_TRANSFER_H2D = "transfer.h2d"
+SITE_TRANSFER_D2H = "transfer.d2h"
+SITE_MALLOC = "cuda.malloc"
+SITE_LAUNCH = "cuda.launch"
+SITE_DISK_READ = "disk.read"
+
+SITES = (
+    SITE_TRANSFER_H2D,
+    SITE_TRANSFER_D2H,
+    SITE_MALLOC,
+    SITE_LAUNCH,
+    SITE_DISK_READ,
+)
+
+#: Outcomes returned by the decision methods.
+TRANSIENT = "transient"
+DEVICE_LOST = "device-lost"
+
+
+class FaultPlan:
+    """A deterministic schedule of faults for one simulated run.
+
+    Rates are per-attempt probabilities in ``[0, 1]``; scheduled events
+    use 1-based attempt indices (``device_lost_at_launch=1`` kills the
+    device at the first launch).  ``attempts`` and ``injected`` count, per
+    site, how often the plan was consulted and how often it injected —
+    tests reconcile these against the recovery layer's retry counters.
+    """
+
+    def __init__(self, seed=0, transfer_fault_rate=0.0,
+                 launch_fault_rate=0.0, malloc_fault_rate=0.0,
+                 short_read_rate=0.0, oom_at_mallocs=(),
+                 device_lost_at_launch=None):
+        for name, rate in (("transfer_fault_rate", transfer_fault_rate),
+                           ("launch_fault_rate", launch_fault_rate),
+                           ("malloc_fault_rate", malloc_fault_rate),
+                           ("short_read_rate", short_read_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.seed = seed
+        self.transfer_fault_rate = transfer_fault_rate
+        self.launch_fault_rate = launch_fault_rate
+        self.malloc_fault_rate = malloc_fault_rate
+        self.short_read_rate = short_read_rate
+        self.oom_at_mallocs = frozenset(oom_at_mallocs)
+        if any(index < 1 for index in self.oom_at_mallocs):
+            raise ValueError(
+                "oom_at_mallocs uses 1-based attempt indices, got "
+                f"{sorted(self.oom_at_mallocs)}"
+            )
+        if device_lost_at_launch is not None and device_lost_at_launch < 1:
+            raise ValueError(
+                "device_lost_at_launch uses 1-based attempt indices, got "
+                f"{device_lost_at_launch}"
+            )
+        self.device_lost_at_launch = device_lost_at_launch
+        self._rngs = {site: random.Random(f"{seed}/{site}") for site in SITES}
+        self.attempts = {site: 0 for site in SITES}
+        self.injected = {site: 0 for site in SITES}
+        self.device_losses = 0
+
+    @classmethod
+    def none(cls, seed=0):
+        """A plan that injects nothing (all injection points stay no-ops)."""
+        return cls(seed=seed)
+
+    @property
+    def enabled(self):
+        """False when no fault can ever fire; layers then skip all hooks."""
+        return bool(
+            self.transfer_fault_rate or self.launch_fault_rate
+            or self.malloc_fault_rate or self.short_read_rate
+            or self.oom_at_mallocs or self.device_lost_at_launch is not None
+        )
+
+    # -- decisions ----------------------------------------------------------
+
+    def transfer_fault(self, d2h=False):
+        """Outcome for one DMA attempt: None, or :data:`TRANSIENT`."""
+        site = SITE_TRANSFER_D2H if d2h else SITE_TRANSFER_H2D
+        self.attempts[site] += 1
+        if self._rngs[site].random() < self.transfer_fault_rate:
+            self.injected[site] += 1
+            return TRANSIENT
+        return None
+
+    def malloc_fault(self):
+        """Whether this cudaMalloc attempt fails with a (transient) OOM."""
+        self.attempts[SITE_MALLOC] += 1
+        if self.attempts[SITE_MALLOC] in self.oom_at_mallocs or (
+            self._rngs[SITE_MALLOC].random() < self.malloc_fault_rate
+        ):
+            self.injected[SITE_MALLOC] += 1
+            return True
+        return False
+
+    def launch_fault(self):
+        """Outcome for one launch: None, :data:`TRANSIENT`, or
+        :data:`DEVICE_LOST` (scheduled, fires at most once per plan)."""
+        self.attempts[SITE_LAUNCH] += 1
+        if (self.device_lost_at_launch is not None
+                and self.attempts[SITE_LAUNCH] == self.device_lost_at_launch):
+            self.injected[SITE_LAUNCH] += 1
+            self.device_losses += 1
+            return DEVICE_LOST
+        if self._rngs[SITE_LAUNCH].random() < self.launch_fault_rate:
+            self.injected[SITE_LAUNCH] += 1
+            return TRANSIENT
+        return None
+
+    def short_read(self, size):
+        """Bytes the disk actually delivers for a ``size``-byte read.
+
+        POSIX permits short reads; an injected one delivers a uniformly
+        chosen strict prefix (at least one byte, so callers always make
+        progress and the retried remainder terminates).
+        """
+        self.attempts[SITE_DISK_READ] += 1
+        rng = self._rngs[SITE_DISK_READ]
+        if size > 1 and rng.random() < self.short_read_rate:
+            self.injected[SITE_DISK_READ] += 1
+            return rng.randrange(1, size)
+        return size
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def injected_total(self):
+        return sum(self.injected.values())
+
+    def summary(self):
+        """Per-site ``injected/attempts`` counts (for experiment tables)."""
+        return {
+            site: (self.injected[site], self.attempts[site])
+            for site in SITES
+        }
+
+    def __repr__(self):
+        parts = [f"seed={self.seed}"]
+        if self.transfer_fault_rate:
+            parts.append(f"transfer={self.transfer_fault_rate}")
+        if self.launch_fault_rate:
+            parts.append(f"launch={self.launch_fault_rate}")
+        if self.malloc_fault_rate:
+            parts.append(f"malloc={self.malloc_fault_rate}")
+        if self.short_read_rate:
+            parts.append(f"short_read={self.short_read_rate}")
+        if self.oom_at_mallocs:
+            parts.append(f"oom_at={sorted(self.oom_at_mallocs)}")
+        if self.device_lost_at_launch is not None:
+            parts.append(f"device_lost_at_launch={self.device_lost_at_launch}")
+        return f"FaultPlan({', '.join(parts)})"

@@ -20,6 +20,9 @@ class Disk:
         self.resource = Resource(spec.name, clock)
         self.bytes_read = 0
         self.bytes_written = 0
+        #: Fault-injection plan consulted by the filesystem (short reads);
+        #: installed via :meth:`repro.hw.machine.Machine.install_faults`.
+        self.faults = None
 
     def read(self, size, label="disk-read"):
         """Schedule and wait for a read of ``size`` bytes."""

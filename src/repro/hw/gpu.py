@@ -29,6 +29,17 @@ class Gpu:
         self.engine = Resource(f"{spec.name} engine", clock)
         self.kernels_launched = 0
 
+    def reset(self):
+        """Device reset after a device-lost event.
+
+        All on-board memory contents and allocations are gone; the caller
+        (driver/recovery machinery) is responsible for replaying the
+        allocations and re-materialising data from host-canonical state.
+        The execution timeline survives — a reset does not rewrite history.
+        """
+        self.memory = DeviceMemory(self.spec.memory_bytes,
+                                   base=self.memory.base)
+
     def launch(self, duration, label="kernel", earliest=None):
         """Schedule kernel execution time; returns a Completion."""
         self.kernels_launched += 1

@@ -32,6 +32,10 @@ class Link:
         }
         self.bytes_moved = {Direction.H2D: 0, Direction.D2H: 0}
         self.transfer_count = {Direction.H2D: 0, Direction.D2H: 0}
+        # Aborted DMA attempts (fault injection), counted separately so the
+        # Figure 8/11 counters keep reflecting *logical* data movement.
+        self.faulted_bytes = {Direction.H2D: 0, Direction.D2H: 0}
+        self.faulted_count = {Direction.H2D: 0, Direction.D2H: 0}
 
     def resource(self, direction):
         return self._resources[direction]
@@ -47,6 +51,21 @@ class Link:
         return self._resources[direction].schedule(
             duration, label=label, earliest=earliest
         )
+
+    def faulted_transfer(self, size, direction, label="dma-faulted"):
+        """Schedule a DMA attempt that will fail at completion time.
+
+        The aborted attempt still holds the direction's timeline for its
+        full duration — the DMA engine only reports the error when the
+        transfer would have completed — so retries are genuinely charged
+        to the PCIe resource and Figure 10-style accounting stays honest
+        under fault injection.  The bytes are *not* added to
+        ``bytes_moved`` (no data arrived); they land in ``faulted_bytes``.
+        """
+        duration = self.transfer_seconds(size, direction)
+        self.faulted_bytes[direction] += size
+        self.faulted_count[direction] += 1
+        return self._resources[direction].schedule(duration, label=label)
 
     def transfer_sync(self, size, direction, label="dma", earliest=None):
         """Schedule a DMA and block until it completes."""
@@ -73,3 +92,5 @@ class Link:
     def reset_counters(self):
         self.bytes_moved = {Direction.H2D: 0, Direction.D2H: 0}
         self.transfer_count = {Direction.H2D: 0, Direction.D2H: 0}
+        self.faulted_bytes = {Direction.H2D: 0, Direction.D2H: 0}
+        self.faulted_count = {Direction.H2D: 0, Direction.D2H: 0}

@@ -43,6 +43,10 @@ class Machine:
         self.link = Link(link_spec, self.clock)
         self.disk = Disk(disk_spec, self.clock)
         self.integrated = integrated
+        #: Fault-injection plan (None = no injection, zero-cost no-ops).
+        #: Driver contexts consult this dynamically; the disk gets its own
+        #: reference because the filesystem only sees the disk.
+        self.faults = None
         self.gpus = []
         for index in range(gpu_count):
             # Multiple GPUs get overlapping device address ranges, exactly
@@ -55,6 +59,18 @@ class Machine:
     @property
     def gpu(self):
         return self.gpus[0]
+
+    def install_faults(self, plan):
+        """Install a :class:`~repro.faults.FaultPlan` across all layers.
+
+        The driver, interconnect and filesystem consult the plan at their
+        injection points; passing ``None`` uninstalls.  A GMAC instance
+        created on a machine with an *enabled* plan automatically arms its
+        recovery machinery (see :class:`repro.core.recovery.RecoveryPolicy`).
+        """
+        self.faults = plan
+        self.disk.faults = plan
+        return plan
 
     def elapsed(self):
         return self.clock.now

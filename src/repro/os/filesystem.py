@@ -32,10 +32,20 @@ class FileHandle:
             raise IoError(f"operation on closed file {self.path!r}")
 
     def read(self, size):
-        """Read up to ``size`` bytes from the current position."""
+        """Read up to ``size`` bytes from the current position.
+
+        POSIX permits short reads; an installed fault plan exercises that
+        by occasionally delivering only a prefix of the request.  Callers
+        that assume full reads — the un-interposed libc path — then lose
+        the undelivered tail, exactly the un-restartable-I/O hazard of
+        Section 4.4; GMAC's interposed chunked reads resume instead.
+        """
         self._require_open()
         if self.mode != "r":
             raise IoError(f"file {self.path!r} not open for reading")
+        plan = self.fs.disk.faults
+        if plan is not None and plan.enabled:
+            size = plan.short_read(size)
         data = self.fs._files[self.path]
         chunk = bytes(data[self.position:self.position + size])
         self.position += len(chunk)

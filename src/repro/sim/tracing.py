@@ -29,6 +29,7 @@ class Category(enum.Enum):
     IO_READ = "IORead"
     IO_WRITE = "IOWrite"
     CPU = "CPU"                    # application compute on the CPU
+    RETRY = "Retry"                # fault-recovery backoff + device resets
 
     def __str__(self):
         return self.value

@@ -47,3 +47,93 @@ class CudaError(ReproError):
 
 class GmacError(ReproError):
     """An error from the GMAC library itself (bad pointer, double free...)."""
+
+
+class FaultedError:
+    """Mixin for errors produced at a fault-injection point.
+
+    Carries the virtual timestamp at which the fault surfaced and the name
+    of the resource involved (a link direction, a GPU, a disk), so recovery
+    code and tests can reason about *when* and *where* things failed.  Not
+    a :class:`ReproError` itself — concrete classes mix it into the
+    existing family so current ``except`` clauses keep working.
+    """
+
+    def _stamp(self, timestamp, resource):
+        self.timestamp = timestamp
+        self.resource = resource
+
+
+class TransferError(FaultedError, CudaError):
+    """A DMA attempt over the CPU<->accelerator link failed.
+
+    Transient by default: the failed attempt occupied the link for its full
+    duration (the engine aborts at completion), and a retry may succeed.
+    """
+
+    def __init__(self, message, direction=None, size=None, timestamp=None,
+                 resource=None, transient=True):
+        super().__init__(message)
+        self.direction = direction
+        self.size = size
+        self.transient = transient
+        self._stamp(timestamp, resource)
+
+
+class LaunchError(FaultedError, CudaError):
+    """A kernel launch was rejected by the driver (transient)."""
+
+    def __init__(self, message, kernel=None, timestamp=None, resource=None):
+        super().__init__(message)
+        self.kernel = kernel
+        self._stamp(timestamp, resource)
+
+
+class DeviceLostError(FaultedError, CudaError):
+    """The accelerator fell off the bus; its context and memory are gone.
+
+    Every later operation on the dead context raises this too, until the
+    driver context is revived (a device reset).  Recovery is possible in
+    ADSM precisely because the CPU side holds all coherence state: the
+    host-canonical blocks can be replayed into a fresh context.
+    """
+
+    def __init__(self, message, timestamp=None, resource=None):
+        super().__init__(message)
+        self._stamp(timestamp, resource)
+
+
+class CudaOutOfMemoryError(FaultedError, CudaError, AllocationError):
+    """cudaMalloc failed (device memory exhausted, or an injected OOM).
+
+    Subclasses both :class:`CudaError` and :class:`AllocationError` so
+    callers catching either family keep working.
+    """
+
+    def __init__(self, message, size=None, timestamp=None, resource=None,
+                 transient=False):
+        super().__init__(message)
+        self.size = size
+        self.transient = transient
+        self._stamp(timestamp, resource)
+
+
+class InvalidDeviceAddressError(CudaError):
+    """cuMemFree of an address that is unknown or already freed."""
+
+    def __init__(self, message, address=None, timestamp=None, resource=None):
+        super().__init__(message)
+        self.address = address
+        self.timestamp = timestamp
+        self.resource = resource
+
+
+class RetryExhaustedError(FaultedError, ReproError):
+    """Bounded retry gave up: the underlying fault kept recurring."""
+
+    def __init__(self, message, attempts=None, last_error=None,
+                 timestamp=None, resource=None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+        self._stamp(timestamp, resource)

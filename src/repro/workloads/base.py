@@ -140,7 +140,7 @@ class Workload(abc.ABC):
             faults=gmac.fault_count if gmac is not None else 0,
             signals=app.process.signals.delivered,
             verified=verified,
-            extra={"machine": machine, "app": app},
+            extra={"machine": machine, "app": app, "gmac": gmac},
         )
 
     def execute_stats(self, runs=3, mode="gmac", protocol="rolling",

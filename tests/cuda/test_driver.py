@@ -145,3 +145,53 @@ class TestStreamsAndLaunch:
         completion = ctx.memcpy_h2d(dev, int(host), MB)
         assert completion.duration == 0.0
         assert integrated_machine.link.bytes_moved[Direction.H2D] == 0
+
+
+class TestErrorHygiene:
+    """Driver misuse raises precise CudaError subclasses, never bare
+    KeyError/AssertionError leaking from the bookkeeping."""
+
+    def test_double_free_raises_invalid_address(self, ctx):
+        from repro.util.errors import InvalidDeviceAddressError
+
+        addr = ctx.mem_alloc(4096)
+        ctx.mem_free(addr)
+        with pytest.raises(InvalidDeviceAddressError) as excinfo:
+            ctx.mem_free(addr)
+        assert excinfo.value.address == addr
+        assert isinstance(excinfo.value, CudaError)
+
+    def test_free_of_unknown_address_raises_invalid_address(self, ctx):
+        from repro.util.errors import InvalidDeviceAddressError
+
+        with pytest.raises(InvalidDeviceAddressError):
+            ctx.mem_free(0xDEAD000)
+
+    def test_real_oom_is_cuda_and_allocation_error(self, ctx):
+        from repro.util.errors import AllocationError, CudaOutOfMemoryError
+
+        with pytest.raises(CudaOutOfMemoryError) as excinfo:
+            ctx.mem_alloc(ctx.gpu.spec.memory_bytes + 1)
+        assert isinstance(excinfo.value, AllocationError)
+        assert isinstance(excinfo.value, CudaError)
+        assert not excinfo.value.transient
+
+    def test_every_operation_on_dead_context_raises_device_lost(self, app,
+                                                                ctx):
+        from repro.util.errors import DeviceLostError
+
+        dev = ctx.mem_alloc(64)
+        host = app.process.malloc(64)
+        ctx.alive = False
+        for operation in (
+            lambda: ctx.mem_alloc(64),
+            lambda: ctx.mem_alloc_at(0x1000, 64),
+            lambda: ctx.memcpy_h2d(dev, int(host), 64),
+            lambda: ctx.memcpy_d2h(int(host), dev, 64),
+            lambda: ctx.memcpy_d2d(dev, dev, 64),
+            lambda: ctx.memset_d8(dev, 0, 64),
+            lambda: ctx.launch(DOUBLE, {"data": dev, "n": 4}),
+            lambda: ctx.restore_allocation(dev, 64),
+        ):
+            with pytest.raises(DeviceLostError):
+                operation()

@@ -1,0 +1,265 @@
+"""Recovery: retries, OOM relief, device re-materialisation, degradation."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import RetryExhaustedError, TransferError
+from repro.util.units import KB
+from repro.faults import FaultPlan
+from repro.core.recovery import RecoveryPolicy
+
+
+class TestAutoArming:
+    def test_enabled_plan_arms_recovery(self, app, gmac_factory):
+        app.machine.install_faults(FaultPlan(transfer_fault_rate=0.1))
+        gmac = gmac_factory()
+        assert isinstance(gmac.recovery, RecoveryPolicy)
+        assert gmac.manager.recovery is gmac.recovery
+        assert gmac.recovery.gmac is gmac
+
+    def test_no_plan_means_no_recovery(self, gmac_factory):
+        gmac = gmac_factory()
+        assert gmac.recovery is None
+        assert gmac.manager.recovery is None
+
+    def test_explicit_policy_wins(self, app, gmac_factory):
+        app.machine.install_faults(FaultPlan(transfer_fault_rate=0.1))
+        policy = RecoveryPolicy(max_transfer_retries=2)
+        gmac = gmac_factory(recovery=policy)
+        assert gmac.recovery is policy
+
+
+class TestTransientTransferRecovery:
+    def _noisy_run(self, app, gmac_factory, scale_kernel, rate=0.3):
+        plan = app.machine.install_faults(
+            FaultPlan(seed=5, transfer_fault_rate=rate)
+        )
+        gmac = gmac_factory()
+        ptr = gmac.alloc(1024 * KB, name="data")
+        n = (1024 * KB) // 4
+        values = np.ones(n, dtype=np.float32)
+        for _ in range(3):
+            ptr.write_array(values)
+            gmac.call(scale_kernel, data=ptr, n=n, factor=3.0)
+            gmac.sync()
+            values = ptr.read_array("f4", n).copy()
+        return plan, gmac, values
+
+    def test_numerics_survive_and_counters_reconcile(self, app, gmac_factory,
+                                                     scale_kernel):
+        plan, gmac, values = self._noisy_run(app, gmac_factory, scale_kernel)
+        assert np.allclose(values, 27.0)
+        injected = (plan.injected["transfer.h2d"]
+                    + plan.injected["transfer.d2h"])
+        assert injected > 0, "seed 5 at 30% must inject on this traffic"
+        assert gmac.recovery.stats["transfer_retries"] == injected
+
+    def test_backoff_lands_in_retry_category(self, app, gmac_factory,
+                                             scale_kernel):
+        _, gmac, _ = self._noisy_run(app, gmac_factory, scale_kernel)
+        breakdown = app.machine.accounting.breakdown()
+        stats = gmac.recovery.stats
+        assert stats["backoff_s"] > 0
+        assert breakdown["Retry"] == pytest.approx(stats["backoff_s"])
+
+    def test_permanent_failure_exhausts_retries(self, app, gmac_factory,
+                                                scale_kernel):
+        app.machine.install_faults(FaultPlan(transfer_fault_rate=1.0))
+        gmac = gmac_factory(recovery=RecoveryPolicy(max_transfer_retries=3))
+        ptr = gmac.alloc(4 * KB, name="data")
+        ptr.write_array(np.ones(4, dtype=np.float32))
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            gmac.call(scale_kernel, data=ptr, n=4, factor=2.0)
+        assert excinfo.value.attempts == 4  # 1 try + 3 retries
+        assert isinstance(excinfo.value.last_error, TransferError)
+
+    def test_backoff_delay_grows_then_caps(self, app, gmac_factory):
+        app.machine.install_faults(FaultPlan(transfer_fault_rate=1.0))
+        policy = RecoveryPolicy(max_transfer_retries=10,
+                                backoff_base_s=1e-6, backoff_factor=2.0,
+                                max_backoff_s=4e-6)
+        gmac = gmac_factory(recovery=policy)
+
+        calls = []
+
+        def attempt():
+            calls.append(gmac.machine.clock.now)
+            raise TransferError("always", timestamp=0.0, resource="link")
+
+        with pytest.raises(RetryExhaustedError):
+            policy.retry_transfer(attempt)
+        gaps = [b - a for a, b in zip(calls, calls[1:])]
+        # 1us, 2us, then capped at 4us forever.
+        assert gaps[0] == pytest.approx(1e-6)
+        assert gaps[1] == pytest.approx(2e-6)
+        assert gaps[2] == pytest.approx(4e-6)
+        assert all(g == pytest.approx(4e-6) for g in gaps[2:])
+
+
+class TestOomRecovery:
+    def test_scheduled_oom_retried_after_forced_eviction(self, app,
+                                                         gmac_factory):
+        app.machine.install_faults(FaultPlan(oom_at_mallocs=(1,)))
+        gmac = gmac_factory()
+        ptr = gmac.alloc(64 * KB, name="data")  # first cudaMalloc faults
+        assert ptr.region is not None
+        assert gmac.recovery.stats["oom_retries"] == 1
+
+    def test_force_evict_drains_dirty_fifo_and_shrinks_rolling(self, app,
+                                                               gmac_factory,
+                                                               scale_kernel):
+        # Second region's cudaMalloc faults, once region A has dirty blocks.
+        app.machine.install_faults(FaultPlan(oom_at_mallocs=(2,)))
+        gmac = gmac_factory(protocol_options={"rolling_size": 4})
+        a = gmac.alloc(256 * KB, name="a")
+        a.write_array(np.ones((256 * KB) // 4, dtype=np.float32))
+        assert len(gmac.protocol._dirty) > 0
+        gmac.alloc(64 * KB, name="b")
+        assert gmac.recovery.stats["oom_retries"] == 1
+        assert len(gmac.protocol._dirty) == 0
+        assert gmac.protocol.rolling_size == 2  # halved from 4
+        # The evicted data reached the device intact.
+        n = (256 * KB) // 4
+        gmac.call(scale_kernel, data=a, n=n, factor=2.0)
+        gmac.sync()
+        assert np.allclose(a.read_array("f4", n), 2.0)
+
+    def test_hopeless_oom_exhausts(self, app, gmac_factory):
+        app.machine.install_faults(FaultPlan(malloc_fault_rate=1.0))
+        gmac = gmac_factory(recovery=RecoveryPolicy(max_oom_retries=2))
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            gmac.alloc(4 * KB)
+        assert excinfo.value.attempts == 3
+
+
+class TestDeviceLossRecovery:
+    def test_rematerialisation_preserves_numerics(self, app, gmac_factory,
+                                                  scale_kernel):
+        plan = app.machine.install_faults(FaultPlan(device_lost_at_launch=1))
+        gmac = gmac_factory()
+        ptr = gmac.alloc(256 * KB, name="data")
+        n = (256 * KB) // 4
+        ptr.write_array(np.full(n, 7.0, dtype=np.float32))
+        gmac.call(scale_kernel, data=ptr, n=n, factor=2.0)
+        gmac.sync()
+        assert np.allclose(ptr.read_array("f4", n), 14.0)
+        assert plan.device_losses == 1
+        stats = gmac.recovery.stats
+        assert stats["device_recoveries"] == 1
+        assert stats["blocks_rematerialized"] == len(ptr.region.blocks)
+        assert gmac.layer.driver.alive
+
+    def test_unwritten_regions_survive_device_loss(self, app, gmac_factory,
+                                                   add_kernel):
+        app.machine.install_faults(FaultPlan(device_lost_at_launch=1))
+        gmac = gmac_factory()
+        a = gmac.alloc(4 * KB, name="a")
+        b = gmac.alloc(4 * KB, name="b")
+        c = gmac.alloc(4 * KB, name="c")
+        a.write_array(np.full(16, 2.0, dtype=np.float32))
+        b.write_array(np.full(16, 5.0, dtype=np.float32))
+        gmac.call(add_kernel, writes=[c], a=a, b=b, c=c, n=16)
+        gmac.sync()
+        assert np.allclose((a).read_array("f4", 16), 2.0)
+        assert np.allclose((c).read_array("f4", 16), 7.0)
+
+    def test_checkpoint_makes_second_call_recoverable(self, app, gmac_factory,
+                                                      scale_kernel):
+        """The device dies at call #2 while call #1's outputs are still
+        device-only; the auto-checkpoint fetches them first."""
+        app.machine.install_faults(FaultPlan(device_lost_at_launch=2))
+        gmac = gmac_factory()
+        ptr = gmac.alloc(256 * KB, name="data")
+        n = (256 * KB) // 4
+        ptr.write_array(np.ones(n, dtype=np.float32))
+        gmac.call(scale_kernel, data=ptr, n=n, factor=2.0)
+        gmac.sync()
+        # No host read between the calls: blocks stay INVALID on the host.
+        gmac.call(scale_kernel, data=ptr, n=n, factor=3.0)
+        gmac.sync()
+        assert np.allclose(ptr.read_array("f4", n), 6.0)
+        assert gmac.recovery.stats["checkpoint_s"] > 0
+
+    def test_repeated_losses_eventually_give_up(self, app, gmac_factory,
+                                                scale_kernel):
+        app.machine.install_faults(FaultPlan(device_lost_at_launch=1))
+        gmac = gmac_factory(recovery=RecoveryPolicy(max_device_recoveries=0))
+        ptr = gmac.alloc(4 * KB, name="data")
+        ptr.write_array(np.ones(4, dtype=np.float32))
+        with pytest.raises(RetryExhaustedError):
+            gmac.call(scale_kernel, data=ptr, n=4, factor=2.0)
+
+
+class TestLaunchRecovery:
+    def test_transient_rejections_reconcile(self, app, gmac_factory,
+                                            scale_kernel):
+        plan = app.machine.install_faults(
+            FaultPlan(seed=3, launch_fault_rate=0.5)
+        )
+        gmac = gmac_factory()
+        ptr = gmac.alloc(4 * KB, name="data")
+        ptr.write_array(np.ones(4, dtype=np.float32))
+        for _ in range(6):
+            gmac.call(scale_kernel, data=ptr, n=4, factor=2.0)
+            gmac.sync()
+        assert np.allclose(ptr.read_array("f4", 4), 2.0 ** 6)
+        assert plan.injected["cuda.launch"] > 0
+        assert gmac.recovery.stats["launch_retries"] == (
+            plan.injected["cuda.launch"]
+        )
+
+
+class TestDegradation:
+    def _run_calls(self, gmac, scale_kernel, ptr, n, calls):
+        for _ in range(calls):
+            gmac.call(scale_kernel, data=ptr, n=n, factor=2.0)
+            gmac.sync()
+            # Touch the data so every round re-dirties and re-transfers.
+            ptr.write_array(ptr.read_array("f4", n))
+
+    def test_high_fault_rate_degrades_rolling_to_lazy_to_batch(
+            self, app, gmac_factory, scale_kernel):
+        app.machine.install_faults(FaultPlan(seed=2, transfer_fault_rate=0.5))
+        gmac = gmac_factory(
+            recovery=RecoveryPolicy(degrade_min_attempts=4,
+                                    degrade_threshold=0.2,
+                                    max_transfer_retries=64),
+        )
+        ptr = gmac.alloc(64 * KB, name="data")
+        n = (64 * KB) // 4
+        ptr.write_array(np.ones(n, dtype=np.float32))
+        self._run_calls(gmac, scale_kernel, ptr, n, calls=8)
+        steps = gmac.recovery.stats["degradations"]
+        assert [s["from"] for s in steps] == ["rolling", "lazy"]
+        assert [s["to"] for s in steps] == ["lazy", "batch"]
+        assert gmac.protocol.name == "batch"
+        assert gmac.manager.protocol is gmac.protocol
+        assert np.allclose(ptr.read_array("f4", n), 2.0 ** 8)
+
+    def test_batch_never_degrades_further(self, app, gmac_factory,
+                                          scale_kernel):
+        app.machine.install_faults(FaultPlan(seed=2, transfer_fault_rate=0.5))
+        gmac = gmac_factory(
+            protocol="batch",
+            recovery=RecoveryPolicy(degrade_min_attempts=2,
+                                    degrade_threshold=0.1,
+                                    max_transfer_retries=64),
+        )
+        ptr = gmac.alloc(4 * KB, name="data")
+        ptr.write_array(np.ones(4, dtype=np.float32))
+        for _ in range(4):
+            gmac.call(scale_kernel, data=ptr, n=4, factor=2.0)
+            gmac.sync()
+        assert gmac.recovery.stats["degradations"] == []
+        assert gmac.protocol.name == "batch"
+
+    def test_low_fault_rate_never_degrades(self, app, gmac_factory,
+                                           scale_kernel):
+        app.machine.install_faults(FaultPlan(seed=2, transfer_fault_rate=0.02))
+        gmac = gmac_factory()
+        ptr = gmac.alloc(64 * KB, name="data")
+        n = (64 * KB) // 4
+        ptr.write_array(np.ones(n, dtype=np.float32))
+        self._run_calls(gmac, scale_kernel, ptr, n, calls=6)
+        assert gmac.recovery.stats["degradations"] == []
+        assert gmac.protocol.name == "rolling"

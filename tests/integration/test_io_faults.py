@@ -1,0 +1,94 @@
+"""Section 4.4 under fault injection: short reads meet un-restartable I/O.
+
+The un-interposed libc reproduces the paper's failure mode — a ``read()``
+into a protected multi-block shared object aborts once the kernel's copy
+loop faults after partial progress.  GMAC's interposed, block-chunked
+``read()`` pre-faults each chunk AND resumes short deliveries, so the same
+call survives both protection boundaries and a faulty disk.
+"""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import IoError
+from repro.util.units import KB
+from repro.faults import FaultPlan
+
+SIZE = 1024 * KB  # four 256KB rolling blocks
+
+
+def _input_file(app, path="input"):
+    rng = np.random.default_rng(123)
+    data = rng.integers(0, 256, SIZE, dtype=np.uint8).tobytes()
+    app.fs.create(path, data)
+    return data
+
+
+class TestUninterposedBaseline:
+    def test_read_into_shared_region_is_not_restartable(self, app,
+                                                        gmac_factory):
+        """No interposition: the copy crosses the first block boundary
+        after 256KB of progress and the OS cannot restart the call."""
+        _input_file(app)
+        gmac = gmac_factory(interpose=False)
+        ptr = gmac.alloc(SIZE, name="data")
+        with app.fs.open("input") as handle:
+            with pytest.raises(IoError, match="not restartable"):
+                app.libc.read(handle, int(ptr), SIZE)
+
+    def test_single_block_read_survives_without_interposition(self, app,
+                                                              gmac_factory):
+        """Inside one block the first fault happens at zero progress, where
+        the call IS restartable — the hazard needs a block boundary."""
+        _input_file(app)
+        gmac = gmac_factory(interpose=False)
+        ptr = gmac.alloc(SIZE, name="data")
+        with app.fs.open("input") as handle:
+            assert app.libc.read(handle, int(ptr), 256 * KB) == 256 * KB
+
+
+class TestInterposedRecovery:
+    def test_chunked_read_crosses_all_blocks(self, app, gmac_factory):
+        data = _input_file(app)
+        gmac = gmac_factory()
+        ptr = gmac.alloc(SIZE, name="data")
+        with app.fs.open("input") as handle:
+            assert app.libc.read(handle, int(ptr), SIZE) == SIZE
+        assert ptr.read_bytes(SIZE) == data
+
+    def test_short_reads_are_resumed_to_full_data(self, app, gmac_factory):
+        data = _input_file(app)
+        plan = app.machine.install_faults(
+            FaultPlan(seed=4, short_read_rate=0.5)
+        )
+        gmac = gmac_factory()
+        ptr = gmac.alloc(SIZE, name="data")
+        with app.fs.open("input") as handle:
+            assert app.libc.read(handle, int(ptr), SIZE) == SIZE
+        assert ptr.read_bytes(SIZE) == data
+        assert plan.injected["disk.read"] > 0
+        assert gmac.recovery.stats["short_read_resumes"] == (
+            plan.injected["disk.read"]
+        )
+
+    def test_short_reads_into_plain_memory_also_resume(self, app,
+                                                       gmac_factory):
+        """The overload keeps full-read semantics for non-shared buffers
+        too — a faulty disk must not silently truncate them."""
+        data = _input_file(app)
+        app.machine.install_faults(FaultPlan(seed=4, short_read_rate=0.5))
+        gmac_factory()  # installs the interposer on app.libc
+        buffer = app.process.malloc(SIZE)
+        with app.fs.open("input") as handle:
+            assert app.libc.read(handle, int(buffer), SIZE) == SIZE
+        assert buffer.read_bytes(SIZE) == data
+
+    def test_eof_still_returns_short(self, app, gmac_factory):
+        """Resumption must not spin at end of file: a read past the end
+        returns what exists, exactly like POSIX."""
+        app.fs.create("tiny", b"abc")
+        gmac = gmac_factory()
+        ptr = gmac.alloc(4 * KB, name="data")
+        with app.fs.open("tiny") as handle:
+            assert app.libc.read(handle, int(ptr), 4 * KB) == 3
+        assert ptr.read_bytes(3) == b"abc"

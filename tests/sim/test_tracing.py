@@ -113,4 +113,6 @@ class TestTraceAndMerge:
         assert str(Category.CUDA_MALLOC) == "cudaMalloc"
         assert str(Category.IO_READ) == "IORead"
         assert str(Category.COPY) == "Copy"
-        assert len(list(Category)) == 13
+        assert str(Category.RETRY) == "Retry"
+        # Figure 10's 12 categories + CPU + the fault-recovery Retry bucket.
+        assert len(list(Category)) == 14
