@@ -1,0 +1,75 @@
+"""The executor engine itself: serial vs parallel quick-sweep wall-clock.
+
+Times the same quick figure sweep twice — once inline, once over the
+worker pool — from cold private caches, verifies the parallel outcomes
+are identical to the serial ones, and records both timings in
+``results/BENCH_sweep.json`` for regression tracking.  The speedup value
+is informational: it depends on the runner's core count (CI pins
+``--jobs 2`` on a multi-core runner; a single-core box will show ~1x).
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.experiments import common
+from repro.experiments.cache import ResultCache
+from repro.experiments.executor import ExperimentExecutor, expand
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Every experiment with a spec hook: the full sweep the engine dedups.
+SWEEP = ["fig7", "fig8", "fig9", "fig10", "fig11", "fig12"]
+
+
+def _timed_sweep(jobs, cache_dir):
+    """Prime the whole sweep from scratch; returns (wall seconds, stats)."""
+    common.clear_cache()
+    executor = ExperimentExecutor(jobs=jobs, cache_dir=cache_dir)
+    specs = expand(SWEEP, quick=True)
+    start = time.perf_counter()
+    with executor.cache_context():
+        executor.prime(specs)
+    elapsed = time.perf_counter() - start
+    common.clear_cache()
+    return elapsed, executor.stats
+
+
+def test_sweep_serial_vs_parallel(tmp_path, request):
+    jobs = max(2, request.config.getoption("--jobs"))
+    serial_s, serial_stats = _timed_sweep(1, tmp_path / "serial")
+    parallel_s, parallel_stats = _timed_sweep(jobs, tmp_path / "parallel")
+
+    # Both sweeps ran everything (cold caches) over the same spec list.
+    assert serial_stats["executed"] == serial_stats["expanded"] > 0
+    assert parallel_stats == serial_stats
+
+    # Worker scheduling must not leak into results: every parallel outcome
+    # equals its serial counterpart.
+    serial_cache = ResultCache(tmp_path / "serial")
+    parallel_cache = ResultCache(tmp_path / "parallel")
+    for spec in expand(SWEEP, quick=True):
+        ours = parallel_cache.get(spec)
+        theirs = serial_cache.get(spec)
+        assert ours is not None and theirs is not None
+        assert ours.elapsed == theirs.elapsed
+        assert ours.breakdown == theirs.breakdown
+        assert ours.bytes_to_accelerator == theirs.bytes_to_accelerator
+        assert ours.bytes_to_host == theirs.bytes_to_host
+        assert ours.faults == theirs.faults
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "sweep": SWEEP,
+        "quick": True,
+        "specs": serial_stats["expanded"],
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+    }
+    (RESULTS_DIR / "BENCH_sweep.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )

@@ -11,18 +11,39 @@ import pathlib
 
 import pytest
 
-from repro.experiments.registry import run_experiment
+from repro.experiments.executor import ExperimentExecutor
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    group = parser.getgroup("repro", "experiment sweep execution")
+    group.addoption(
+        "--jobs", type=int, default=1,
+        help="worker processes for experiment sweeps (default: serial)",
+    )
+    group.addoption(
+        "--no-cache", action="store_true",
+        help="ignore the persistent result cache under results/cache/",
+    )
+
+
 @pytest.fixture
-def regenerate(benchmark):
+def executor(request):
+    """The sweep executor configured from the --jobs/--no-cache options."""
+    return ExperimentExecutor(
+        jobs=request.config.getoption("--jobs"),
+        use_cache=not request.config.getoption("--no-cache"),
+    )
+
+
+@pytest.fixture
+def regenerate(benchmark, executor):
     """Run one experiment under the benchmark timer and persist its table."""
 
     def run(experiment_id, quick=False):
         result = benchmark.pedantic(
-            run_experiment,
+            executor.run,
             args=(experiment_id,),
             kwargs={"quick": quick},
             rounds=1,

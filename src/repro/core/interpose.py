@@ -20,6 +20,8 @@ non-shared ranges to it unchanged, like an ``LD_PRELOAD`` shim calling
 ``dlsym(RTLD_NEXT)``.
 """
 
+import numpy as np
+
 from repro.util.intervals import Interval
 from repro.core.blocks import BlockState
 from repro.os.paging import AccessKind
@@ -178,8 +180,9 @@ class GmacInterposer:
         from repro.hw.interconnect import Direction
 
         with self.gmac.accounting.measure(Category.IO_WRITE, label="peer-dma"):
-            data = self.gmac.layer.gpu.memory.read(
-                block.device_start, block.size
+            # Borrow the device bytes; the file write is the only copy.
+            data = self.gmac.layer.gpu.memory.view(
+                block.device_start, np.uint8, block.size
             )
             self.gmac.machine.link.transfer(
                 len(data), Direction.D2H, label="peer-dma"

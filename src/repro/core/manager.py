@@ -10,7 +10,7 @@ its name.
 """
 
 from repro.util.errors import AllocationError, GmacError
-from repro.util.intervals import RangeMap
+from repro.util.intervals import Interval, RangeMap
 from repro.util.avltree import AvlTree
 from repro.sim.tracing import Category
 from repro.os.paging import Prot
@@ -203,6 +203,19 @@ class Manager:
         region.set_all_states(state)
         self.set_prot(region.interval, prot)
 
+    def set_blocks_range(self, blocks, state, prot):
+        """Bulk state+protection change for a contiguous run of blocks.
+
+        The run must be address-adjacent (as produced by walking a region
+        in order); the whole span is re-protected with a single mprotect,
+        so n adjacent transitions charge one syscall instead of n.
+        """
+        for block in blocks:
+            block.state = state
+        self.set_prot(
+            Interval(blocks[0].interval.start, blocks[-1].interval.end), prot
+        )
+
     # -- data movement ------------------------------------------------------------------
 
     def _attempt_transfer(self, thunk, label):
@@ -261,24 +274,42 @@ class Manager:
         Dirty blocks are flushed (and demoted to read-only); read-only
         blocks already match; invalid blocks are device-canonical by
         definition.  Used by bulk-operation interposition before
-        device-side copies.
+        device-side copies.  Adjacent dirty blocks demote as one run —
+        one mprotect per run, not per block.
         """
         from repro.core.blocks import BlockState
 
+        run = []
         for block in region.blocks_overlapping(interval):
             if block.state is BlockState.DIRTY:
                 self.flush_to_device(block, sync=True)
-                self.protocol.demote_clean(block)
+                run.append(block)
+            elif run:
+                self.protocol.demote_clean_range(run)
+                run = []
+        if run:
+            self.protocol.demote_clean_range(run)
 
     def ensure_host_canonical(self, region, interval):
-        """Make the host copy of ``interval`` valid (fetch invalid blocks)."""
+        """Make the host copy of ``interval`` valid (fetch invalid blocks).
+
+        Each invalid block still fetches individually (transfers are
+        per-block), but adjacent fetched blocks are re-protected with a
+        single range mprotect.
+        """
         from repro.core.blocks import BlockState
         from repro.os.paging import Prot
 
+        run = []
         for block in region.blocks_overlapping(interval):
             if block.state is BlockState.INVALID:
                 self.fetch_to_host(block)
-                self.set_block(block, BlockState.READ_ONLY, Prot.READ)
+                run.append(block)
+            elif run:
+                self.set_blocks_range(run, BlockState.READ_ONLY, Prot.READ)
+                run = []
+        if run:
+            self.set_blocks_range(run, BlockState.READ_ONLY, Prot.READ)
 
     # -- fault dispatch -----------------------------------------------------------------
 

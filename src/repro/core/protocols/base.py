@@ -61,6 +61,14 @@ class Protocol(abc.ABC):
 
         self.manager.set_block(block, BlockState.READ_ONLY, Prot.READ)
 
+    def demote_clean_range(self, blocks):
+        """A contiguous run of flushed dirty blocks demotes together: one
+        range mprotect instead of one per block."""
+        from repro.core.blocks import BlockState
+        from repro.os.paging import Prot
+
+        self.manager.set_blocks_range(blocks, BlockState.READ_ONLY, Prot.READ)
+
     def discard_block(self, block):
         """Drop the host copy of one block: the device copy just became
         canonical (after a device-side memset/memcpy)."""

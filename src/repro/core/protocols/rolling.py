@@ -158,6 +158,12 @@ class RollingUpdate(Protocol):
             self._dirty.remove(block)
         super().demote_clean(block)
 
+    def demote_clean_range(self, blocks):
+        for block in blocks:
+            if block in self._dirty:
+                self._dirty.remove(block)
+        super().demote_clean_range(blocks)
+
     def discard_block(self, block):
         if block in self._dirty:
             self._dirty.remove(block)

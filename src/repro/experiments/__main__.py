@@ -2,9 +2,11 @@
 
 Usage::
 
-    python -m repro.experiments fig7          # one experiment
-    python -m repro.experiments all           # everything
-    python -m repro.experiments fig7 --quick  # shrunk sizes
+    python -m repro.experiments fig7            # one experiment
+    python -m repro.experiments all             # everything
+    python -m repro.experiments fig7 --quick    # shrunk sizes
+    python -m repro.experiments all --jobs 4    # parallel sweep
+    python -m repro.experiments all --no-cache  # ignore the result cache
 """
 
 import argparse
@@ -12,6 +14,7 @@ import sys
 import time
 
 from repro.experiments.registry import REGISTRY, run_experiment
+from repro.experiments.executor import ExperimentExecutor, expand
 
 
 def main(argv=None):
@@ -41,25 +44,50 @@ def main(argv=None):
         action="store_true",
         help="also render figure-shaped results as ASCII log-scale charts",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the simulation sweep (default: serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the persistent result cache (neither read nor write)",
+    )
     args = parser.parse_args(argv)
+    executor = ExperimentExecutor(jobs=args.jobs, use_cache=not args.no_cache)
     if args.experiment == "report":
-        from repro.experiments.report import write_report
+        from repro.experiments.report import SECTION_ORDER, write_report
 
-        write_report(args.output, quick=args.quick)
+        with executor.cache_context():
+            executor.prime(expand(SECTION_ORDER, quick=args.quick))
+            write_report(args.output, quick=args.quick)
         print(f"wrote {args.output}")
         return 0
     ids = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
-    for experiment_id in ids:
+    with executor.cache_context():
         started = time.time()
-        result = run_experiment(experiment_id, quick=args.quick)
-        print(result.render())
-        if args.chart:
-            chart = result.chart()
-            if chart is not None:
-                print()
-                print(chart)
-        print(f"(regenerated in {time.time() - started:.1f}s wall)")
-        print()
+        stats = executor.prime(expand(ids, quick=args.quick))
+        if stats["executed"]:
+            print(
+                f"(primed {stats['executed']} runs "
+                f"({stats['reused']} cached) with {args.jobs} worker(s) "
+                f"in {time.time() - started:.1f}s wall)"
+            )
+            print()
+        for experiment_id in ids:
+            started = time.time()
+            result = run_experiment(experiment_id, quick=args.quick)
+            print(result.render())
+            if args.chart:
+                chart = result.chart()
+                if chart is not None:
+                    print()
+                    print(chart)
+            print(f"(regenerated in {time.time() - started:.1f}s wall)")
+            print()
     return 0
 
 

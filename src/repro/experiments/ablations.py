@@ -23,11 +23,11 @@ import numpy as np
 
 from repro.util.errors import GmacError
 from repro.util.units import KB
-from repro.hw.machine import reference_system, integrated_system
+from repro.hw.machine import reference_system
 from repro.cuda.kernels import Kernel
 from repro.workloads.base import Application
-from repro.workloads.vecadd import VectorAdd
-from repro.workloads.parboil import Tpacf
+from repro.experiments.common import run_spec
+from repro.experiments.spec import RunSpec
 from repro.experiments.result import ExperimentResult
 
 EXPERIMENT_ID = "ablations"
@@ -89,20 +89,22 @@ def _annotation_rows(quick):
     return rows
 
 
+def _integrated_specs(quick):
+    elements = 65536 if quick else 524288
+    return [
+        RunSpec.make(workload="vecadd", params=dict(elements=elements),
+                     protocol="rolling", layer="driver", machine=kind)
+        for kind in ("reference", "integrated")
+    ]
+
+
 def _integrated_rows(quick):
     """The same vecadd source on discrete and integrated machines."""
-    elements = 65536 if quick else 524288
+    labels = ("discrete (PCIe)", "integrated (shared memory)")
     rows = []
-    for label, machine in (
-        ("discrete (PCIe)", reference_system()),
-        ("integrated (shared memory)", integrated_system()),
-    ):
-        workload = VectorAdd(elements=elements)
-        result = workload.execute(
-            mode="gmac", protocol="rolling", machine=machine,
-            gmac_options={"layer": "driver"},
-        )
-        moved = sum(machine.link.bytes_moved.values())
+    for label, spec in zip(labels, _integrated_specs(quick)):
+        result = run_spec(spec)
+        moved = sum(result.link_bytes_moved.values())
         rows.append(
             [
                 "integrated",
@@ -146,6 +148,18 @@ def _safe_alloc_rows():
     ]
 
 
+def _overlap_specs(quick):
+    # The vectors must span enough 256KB blocks for overlap to matter.
+    elements = 512 * 1024 if quick else 1024 * 1024
+    params = dict(elements=elements)
+    return [
+        RunSpec.make(workload="vecadd", params=params, mode="cuda"),
+        RunSpec.make(workload="vecadd", params=params, mode="cuda-db"),
+        RunSpec.make(workload="vecadd", params=params, protocol="rolling",
+                     protocol_options={"block_size": 256 * KB}),
+    ]
+
+
 def _overlap_rows(quick):
     """Section 2.2's second motivation: automatic transfer/compute overlap.
 
@@ -153,19 +167,11 @@ def _overlap_rows(quick):
     synchronization) against plain CUDA and against GMAC rolling-update,
     which gets the same overlap with zero extra application code.
     """
-    # The vectors must span enough 256KB blocks for overlap to matter.
-    elements = 512 * 1024 if quick else 1024 * 1024
     rows = []
     times = {}
-    for mode, options in (
-        ("cuda", None),
-        ("cuda-db", None),
-        ("gmac", {"protocol_options": {"block_size": 256 * KB}}),
-    ):
-        workload = VectorAdd(elements=elements)
-        result = workload.execute(
-            mode=mode, protocol="rolling", gmac_options=options
-        )
+    for spec in _overlap_specs(quick):
+        mode = spec.mode
+        result = run_spec(spec)
         times[mode] = result.elapsed
         label = {
             "cuda": "CUDA, synchronous copies",
@@ -197,21 +203,27 @@ def _overlap_rows(quick):
     return rows
 
 
-def _adaptive_rows(quick):
-    """Adaptive rolling size vs a fixed size of 1 on tpacf."""
+def _adaptive_specs(quick):
     n_points = 65536 if quick else 262144
-    rows = []
     # At 256KB blocks the adaptive window (2 allocations x 2 = 4 blocks =
     # 1MB) covers tpacf's initialisation tile; a fixed size of 1 does not.
-    for label, options in (
-        ("adaptive (+2/alloc)", {"block_size": 256 * KB}),
-        ("fixed 1", {"block_size": 256 * KB, "rolling_size": 1}),
-    ):
-        workload = Tpacf(n_points=n_points)
-        result = workload.execute(
-            mode="gmac", protocol="rolling",
-            gmac_options={"layer": "driver", "protocol_options": options},
+    return [
+        RunSpec.make(workload="tpacf", params=dict(n_points=n_points),
+                     protocol="rolling", layer="driver",
+                     protocol_options=options)
+        for options in (
+            {"block_size": 256 * KB},
+            {"block_size": 256 * KB, "rolling_size": 1},
         )
+    ]
+
+
+def _adaptive_rows(quick):
+    """Adaptive rolling size vs a fixed size of 1 on tpacf."""
+    labels = ("adaptive (+2/alloc)", "fixed 1")
+    rows = []
+    for label, spec in zip(labels, _adaptive_specs(quick)):
+        result = run_spec(spec)
         rows.append(
             [
                 "adaptive-rolling",
@@ -224,21 +236,24 @@ def _adaptive_rows(quick):
     return rows
 
 
+def _peer_dma_specs(quick):
+    sizes = dict(n_samples=8192, n_voxels=64) if quick else None
+    return [
+        RunSpec.make(workload="mri-fhd", params=sizes, protocol="rolling",
+                     layer="driver", peer_dma=peer_dma)
+        for peer_dma in (False, True)
+    ]
+
+
 def _peer_dma_rows(quick):
     """Section 7: "hardware supported peer DMA can increase the performance
     of certain applications" — measured on mri-fhd, the paper's named
     beneficiary."""
-    from repro.workloads.parboil import MriFhd
-
-    sizes = dict(n_samples=8192, n_voxels=64) if quick else {}
     rows = []
     times = {}
-    for peer_dma in (False, True):
-        workload = MriFhd(**sizes)
-        result = workload.execute(
-            mode="gmac", protocol="rolling",
-            gmac_options={"layer": "driver", "peer_dma": peer_dma},
-        )
+    for spec in _peer_dma_specs(quick):
+        peer_dma = spec.peer_dma
+        result = run_spec(spec)
         times[peer_dma] = result.elapsed
         rows.append(
             [
@@ -288,6 +303,21 @@ def _virtual_memory_rows():
         ["virtual-memory", "2x Fermi-class (VM) GPUs", observation,
          "yes" if ok else "NO"],
     ]
+
+
+def specs(quick=False):
+    """The spec-able ablation runs (executor fan-out).
+
+    The annotation, safe-alloc and virtual-memory ablations drive the GMAC
+    API inline (custom kernels, deliberate collisions, multi-GPU machines)
+    and stay inside :func:`run`.
+    """
+    return (
+        _integrated_specs(quick)
+        + _adaptive_specs(quick)
+        + _overlap_specs(quick)
+        + _peer_dma_specs(quick)
+    )
 
 
 def run(quick=False):

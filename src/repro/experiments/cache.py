@@ -1,0 +1,126 @@
+"""Persistent on-disk result cache for experiment runs.
+
+Entries live under ``benchmarks/results/cache/`` (override with the
+``REPRO_CACHE_DIR`` environment variable), one pickle per executed
+:class:`~repro.experiments.spec.RunSpec`.  The file name is the SHA-256 of
+the spec's canonical key *plus a source fingerprint* of ``src/repro`` — a
+hash over every simulator source file that can influence a run's outcome.
+Editing the simulator therefore invalidates every entry at once, while
+editing experiment table/rendering code (which only projects outcomes)
+leaves the cache warm.
+
+Writes are atomic (temp file + rename), so concurrent sweeps sharing a
+cache directory never observe torn entries.
+"""
+
+import functools
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+_SRC_ROOT = Path(__file__).resolve().parents[1]  # src/repro
+
+#: Experiment modules only *project* outcomes into tables, so they do not
+#: invalidate results — except the spec module itself, which defines how a
+#: spec executes.
+_FINGERPRINT_EXEMPT = _SRC_ROOT / "experiments"
+_FINGERPRINT_KEPT = {"spec.py"}
+
+
+@functools.lru_cache(maxsize=1)
+def source_fingerprint():
+    """SHA-256 over the simulator sources that determine run outcomes."""
+    digest = hashlib.sha256()
+    for path in sorted(_SRC_ROOT.rglob("*.py")):
+        if path.parent == _FINGERPRINT_EXEMPT and path.name not in _FINGERPRINT_KEPT:
+            continue
+        digest.update(str(path.relative_to(_SRC_ROOT)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def default_cache_dir():
+    """``$REPRO_CACHE_DIR`` or ``<repo>/benchmarks/results/cache``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    repo_root = _SRC_ROOT.parents[1]
+    if (repo_root / "benchmarks").is_dir():
+        return repo_root / "benchmarks" / "results" / "cache"
+    # Installed without the benchmark tree: keep the cache out of site-packages.
+    return Path(tempfile.gettempdir()) / "repro-result-cache"
+
+
+class ResultCache:
+    """Pickle-file cache of :class:`~repro.experiments.spec.SpecOutcome`."""
+
+    def __init__(self, root=None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, spec):
+        digest = hashlib.sha256()
+        digest.update(spec.key().encode())
+        digest.update(b"\0")
+        digest.update(source_fingerprint().encode())
+        return self.root / f"{digest.hexdigest()}.pkl"
+
+    def get(self, spec):
+        """The cached outcome for ``spec``, or None.
+
+        A corrupt or unreadable entry (torn write from an older run, a
+        pickle from an incompatible version) behaves as a miss.
+        """
+        path = self._path(spec)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        if entry.get("key") != spec.key():  # hash collision paranoia
+            return None
+        return entry.get("outcome")
+
+    def put(self, spec, outcome):
+        """Persist ``outcome`` atomically; concurrent writers are safe."""
+        path = self._path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": spec.key(),
+            "fingerprint": source_fingerprint(),
+            "outcome": outcome,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self):
+        """Remove every cache entry (stale fingerprints included)."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self):
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.pkl"))

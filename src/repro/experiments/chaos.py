@@ -21,11 +21,8 @@ Scenarios per workload:
   degradation policy, demonstrating the rolling -> lazy downgrade.
 """
 
-from repro.faults import FaultPlan
-from repro.core.recovery import RecoveryPolicy
-from repro.hw.machine import reference_system
-from repro.workloads.vecadd import VectorAdd
-from repro.experiments.common import make_workload
+from repro.experiments.common import QUICK_PARAMS, run_spec
+from repro.experiments.spec import RunSpec
 from repro.experiments.result import ExperimentResult
 
 EXPERIMENT_ID = "chaos"
@@ -49,46 +46,54 @@ SCENARIOS = (
 )
 
 
-def _workloads(quick):
-    yield VectorAdd(elements=256 * 1024 if quick else 2 * 1024 * 1024)
-    yield make_workload("tpacf", quick=quick)
+def _workload_params(quick):
+    """(name, constructor params) for the swept workloads."""
+    yield "vecadd", dict(elements=256 * 1024 if quick else 2 * 1024 * 1024)
+    yield "tpacf", QUICK_PARAMS["tpacf"] if quick else None
     # pns makes many kernel calls, so the storm scenario crosses the
     # degradation threshold at a call boundary and the downgrade shows up.
-    yield make_workload("pns", quick=quick)
+    yield "pns", QUICK_PARAMS["pns"] if quick else None
     # mri-q reads its inputs through the interposed libc, exercising
     # short-read resumption.
-    yield make_workload("mri-q", quick=quick)
+    yield "mri-q", QUICK_PARAMS["mri-q"] if quick else None
 
 
-def _run_one(workload, plan_kwargs, recovery_kwargs, seed):
-    machine = reference_system()
-    plan = None
+def _spec(name, params, plan_kwargs, recovery_kwargs):
+    fault_plan = None
     if plan_kwargs is not None:
-        plan = machine.install_faults(FaultPlan(seed=seed, **plan_kwargs))
-    gmac_options = {"layer": "driver"}
-    if plan is not None:
-        gmac_options["recovery"] = RecoveryPolicy(**(recovery_kwargs or {}))
-    result = workload.execute(
-        mode="gmac", protocol="rolling", machine=machine,
-        gmac_options=gmac_options,
+        fault_plan = dict(seed=17, **plan_kwargs)
+    return RunSpec.make(
+        workload=name,
+        params=params,
+        protocol="rolling",
+        layer="driver",
+        fault_plan=fault_plan,
+        recovery=recovery_kwargs,
     )
-    return result, plan
+
+
+def specs(quick=False):
+    """Every (workload, scenario) combination, in table order."""
+    return [
+        _spec(name, params, plan_kwargs, recovery_kwargs)
+        for name, params in _workload_params(quick)
+        for _, plan_kwargs, recovery_kwargs in SCENARIOS
+    ]
 
 
 def run(quick=False):
     rows = []
     all_verified = True
-    for workload in _workloads(quick):
+    for name, params in _workload_params(quick):
         baseline_elapsed = None
         for scenario, plan_kwargs, recovery_kwargs in SCENARIOS:
-            result, plan = _run_one(
-                workload, plan_kwargs, recovery_kwargs, seed=17
+            result = run_spec(
+                _spec(name, params, plan_kwargs, recovery_kwargs)
             )
             all_verified = all_verified and result.verified
             if scenario == "baseline":
                 baseline_elapsed = result.elapsed
-            gmac = result.extra["gmac"]
-            stats = gmac.recovery.stats if gmac.recovery is not None else {}
+            stats = result.recovery_stats
             retries = (
                 stats.get("transfer_retries", 0)
                 + stats.get("launch_retries", 0)
@@ -102,11 +107,11 @@ def run(quick=False):
                 )
             overhead = (result.elapsed - baseline_elapsed) / baseline_elapsed
             rows.append([
-                workload.name,
+                name,
                 scenario,
                 "yes" if result.verified else "NO",
                 round(result.elapsed * 1e3, 2),
-                plan.injected_total if plan is not None else 0,
+                result.injected_faults,
                 retries,
                 stats.get("device_recoveries", 0),
                 stats.get("short_read_resumes", 0),

@@ -1,12 +1,27 @@
 """Shared plumbing for the experiment modules.
 
 Figures 7, 8 and 10 are different projections of the same Parboil runs;
-this module runs each (benchmark, mode, protocol) combination once per
-process and caches the :class:`~repro.workloads.base.WorkloadResult`.
+every experiment now phrases its runs as
+:class:`~repro.experiments.spec.RunSpec` values and obtains outcomes
+through :func:`run_spec`, which layers two caches:
+
+* an **in-memory** map (spec -> outcome), so repeated lookups within one
+  process return the identical object, and
+* an optional **persistent** :class:`~repro.experiments.cache.ResultCache`
+  (on by default; disable with ``REPRO_RESULT_CACHE=0`` or ``--no-cache``),
+  so figures, ablations, chaos and benchmarks share completed runs across
+  invocations until the simulator sources change.
+
+The executor (:mod:`repro.experiments.executor`) primes both layers from a
+worker pool; the experiment modules themselves never notice.
 """
+
+import contextlib
+import os
 
 from repro.util.units import KB, MB
 from repro.workloads.parboil import PARBOIL
+from repro.experiments.spec import RunSpec
 
 #: Shrunk workload parameters for test runs (shape-preserving).
 QUICK_PARAMS = {
@@ -24,7 +39,12 @@ QUICK_PARAMS = {
 #: The protocol order of Figures 7 and 8.
 PROTOCOL_ORDER = ("batch", "lazy", "rolling")
 
-_cache = {}
+#: In-memory outcomes; same spec -> the identical outcome object.
+_memory = {}
+
+#: Persistent cache: the sentinel means "build the default lazily".
+_DEFAULT = object()
+_persistent = _DEFAULT
 
 
 def make_workload(name, quick=False):
@@ -34,24 +54,94 @@ def make_workload(name, quick=False):
     return cls()
 
 
+def parboil_spec(name, mode, protocol="rolling", quick=False, layer="runtime",
+                 protocol_options=None):
+    """The :class:`RunSpec` for one Parboil configuration."""
+    return RunSpec.make(
+        workload=name,
+        params=QUICK_PARAMS[name] if quick else None,
+        mode=mode,
+        protocol=protocol,
+        layer=layer,
+        protocol_options=protocol_options,
+    )
+
+
+def persistent_cache():
+    """The active persistent cache, or None when caching is disabled."""
+    global _persistent
+    if _persistent is _DEFAULT:
+        if os.environ.get("REPRO_RESULT_CACHE", "1") == "0":
+            _persistent = None
+        else:
+            from repro.experiments.cache import ResultCache
+
+            _persistent = ResultCache()
+    return _persistent
+
+
+def set_persistent_cache(cache):
+    """Install ``cache`` (a ResultCache or None to disable) process-wide."""
+    global _persistent
+    _persistent = cache
+
+
+@contextlib.contextmanager
+def using_cache(cache):
+    """Temporarily swap the persistent cache (None disables)."""
+    global _persistent
+    previous = _persistent
+    _persistent = cache
+    try:
+        yield cache
+    finally:
+        _persistent = previous
+
+
+def peek(spec):
+    """The outcome for ``spec`` if either cache layer holds it, else None.
+
+    A persistent hit is promoted into the in-memory layer, so subsequent
+    :func:`run_spec` calls return the identical object.
+    """
+    outcome = _memory.get(spec)
+    if outcome is not None:
+        return outcome
+    cache = persistent_cache()
+    if cache is None:
+        return None
+    outcome = cache.get(spec)
+    if outcome is not None:
+        _memory[spec] = outcome
+    return outcome
+
+
+def store(spec, outcome):
+    """Deposit an outcome into both cache layers (executor merge path)."""
+    _memory[spec] = outcome
+    cache = persistent_cache()
+    if cache is not None:
+        cache.put(spec, outcome)
+    return outcome
+
+
+def run_spec(spec):
+    """Run (or recall) one spec; returns its SpecOutcome."""
+    outcome = peek(spec)
+    if outcome is None:
+        outcome = store(spec, spec.execute())
+    return outcome
+
+
 def run_parboil(name, mode, protocol="rolling", quick=False, layer="runtime",
                 protocol_options=None):
     """Run (and cache) one Parboil configuration."""
-    options_key = tuple(sorted((protocol_options or {}).items()))
-    key = (name, mode, protocol if mode == "gmac" else "-", quick, layer,
-           options_key)
-    if key not in _cache:
-        workload = make_workload(name, quick=quick)
-        gmac_options = {"layer": layer}
-        if protocol_options:
-            gmac_options["protocol_options"] = dict(protocol_options)
-        _cache[key] = workload.execute(
-            mode=mode,
-            protocol=protocol,
-            gmac_options=gmac_options if mode == "gmac" else None,
-        )
-    return _cache[key]
+    return run_spec(parboil_spec(
+        name, mode, protocol=protocol, quick=quick, layer=layer,
+        protocol_options=protocol_options,
+    ))
 
 
 def clear_cache():
-    _cache.clear()
+    """Drop the in-memory layer (the persistent cache is untouched)."""
+    _memory.clear()

@@ -1,0 +1,120 @@
+"""The sweep-execution engine: fan runs out, merge results in order.
+
+Every registered experiment can expand itself into a flat list of
+independent :class:`~repro.experiments.spec.RunSpec` values (its
+``specs(quick)`` hook).  The executor:
+
+1. **expands** the requested experiments into one deduplicated, ordered
+   spec list (figures sharing a configuration share the run);
+2. **primes** the caches — specs already present in either cache layer are
+   skipped, the rest execute on a ``multiprocessing`` pool (``jobs > 1``)
+   or inline (``jobs <= 1``), each worker building its own simulated
+   machine from the spec;
+3. **merges deterministically** — ``Pool.map`` returns outcomes in
+   submission order regardless of completion order, and the merge deposits
+   them spec-by-spec, so a parallel sweep leaves the caches (and therefore
+   every rendered table) byte-identical to a serial one.
+
+The experiments themselves then run unmodified: their ``run()`` functions
+call :func:`repro.experiments.common.run_spec`, which finds every outcome
+already in memory.
+"""
+
+import multiprocessing
+
+from repro.experiments import common
+from repro.experiments.registry import REGISTRY, run_experiment
+
+
+def _execute_spec(spec):
+    """Worker entry point: one spec, one fresh machine (no caching here)."""
+    return spec.execute()
+
+
+def expand(experiment_ids, quick=False):
+    """Ordered, deduplicated specs for ``experiment_ids``.
+
+    Experiments without a ``specs`` hook (fig2, tab2, porting, motivation
+    and other inline/API-level experiments) contribute nothing and simply
+    run serially inside their ``run()``.
+    """
+    specs = []
+    seen = set()
+    for experiment_id in experiment_ids:
+        module = REGISTRY[experiment_id]
+        hook = getattr(module, "specs", None)
+        if hook is None:
+            continue
+        for spec in hook(quick=quick):
+            if spec not in seen:
+                seen.add(spec)
+                specs.append(spec)
+    return specs
+
+
+class ExperimentExecutor:
+    """Runs experiment sweeps over a worker pool with shared caches."""
+
+    def __init__(self, jobs=1, use_cache=True, cache_dir=None):
+        self.jobs = max(1, int(jobs))
+        if not use_cache:
+            self.cache = None
+        elif cache_dir is not None:
+            from repro.experiments.cache import ResultCache
+
+            self.cache = ResultCache(cache_dir)
+        else:
+            self.cache = common.persistent_cache()
+        self.stats = {"expanded": 0, "reused": 0, "executed": 0}
+
+    def cache_context(self):
+        """Context manager installing this executor's persistent cache."""
+        return common.using_cache(self.cache)
+
+    def prime(self, specs):
+        """Ensure every spec's outcome is in the caches; returns stats.
+
+        Call inside :meth:`cache_context` (the run/run_many entry points
+        do).  Outcomes of missing specs are merged in spec order, so the
+        resulting cache state is independent of worker scheduling.
+        """
+        missing = [spec for spec in specs if common.peek(spec) is None]
+        if missing:
+            if self.jobs > 1 and len(missing) > 1:
+                outcomes = self._pool_map(missing)
+            else:
+                outcomes = [spec.execute() for spec in missing]
+            for spec, outcome in zip(missing, outcomes):
+                common.store(spec, outcome)
+        self.stats = {
+            "expanded": len(specs),
+            "reused": len(specs) - len(missing),
+            "executed": len(missing),
+        }
+        return self.stats
+
+    def _pool_map(self, specs):
+        # Fork shares the parent's imported modules (cheap workers); fall
+        # back to the platform default where fork is unavailable.
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = multiprocessing.get_context()
+        processes = min(self.jobs, len(specs))
+        with context.Pool(processes=processes) as pool:
+            return pool.map(_execute_spec, specs)
+
+    def run(self, experiment_id, quick=False):
+        """Prime and run one experiment; returns its ExperimentResult."""
+        with self.cache_context():
+            self.prime(expand([experiment_id], quick=quick))
+            return run_experiment(experiment_id, quick=quick)
+
+    def run_many(self, experiment_ids, quick=False):
+        """Prime the union of sweeps, then run each experiment in order."""
+        with self.cache_context():
+            self.prime(expand(experiment_ids, quick=quick))
+            return [
+                (experiment_id, run_experiment(experiment_id, quick=quick))
+                for experiment_id in experiment_ids
+            ]

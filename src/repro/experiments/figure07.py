@@ -7,7 +7,7 @@ rolling-update achieve performance equal to the original CUDA
 implementation."
 """
 
-from repro.experiments.common import run_parboil, PROTOCOL_ORDER
+from repro.experiments.common import run_parboil, parboil_spec, PROTOCOL_ORDER
 from repro.experiments.result import ExperimentResult
 from repro.workloads.parboil import PARBOIL
 
@@ -17,6 +17,17 @@ PAPER_CLAIM = (
     "batch always loses (65.18x pns, 18.61x rpes); lazy and rolling match "
     "CUDA (~1.0x)"
 )
+
+
+def specs(quick=False):
+    """The independent runs this figure projects (executor fan-out)."""
+    out = []
+    for name in PARBOIL:
+        out.append(parboil_spec(name, "cuda", quick=quick))
+        for protocol in PROTOCOL_ORDER:
+            out.append(parboil_spec(name, "gmac", protocol=protocol,
+                                    quick=quick))
+    return out
 
 
 def run(quick=False):

@@ -6,7 +6,7 @@ handling of shared objects in rolling-update avoids some unnecessary data
 transfers (i.e. mri-q)."
 """
 
-from repro.experiments.common import run_parboil
+from repro.experiments.common import run_parboil, parboil_spec
 from repro.experiments.result import ExperimentResult
 from repro.workloads.parboil import PARBOIL
 
@@ -17,6 +17,15 @@ PAPER_CLAIM = (
     "directions; rolling moves less than lazy where CPU access is partial "
     "(mri-q)"
 )
+
+
+def specs(quick=False):
+    """One gmac run per (benchmark, protocol); shared with Figure 7."""
+    return [
+        parboil_spec(name, "gmac", protocol=protocol, quick=quick)
+        for name in PARBOIL
+        for protocol in ("batch", "lazy", "rolling")
+    ]
 
 
 def run(quick=False):

@@ -6,7 +6,8 @@ than lazy-update ... execution times are longer for a memory block size of
 """
 
 from repro.util.units import KB, MB, format_size
-from repro.workloads.stencil3d import Stencil3D
+from repro.experiments.common import run_spec
+from repro.experiments.spec import RunSpec
 from repro.experiments.result import ExperimentResult
 
 EXPERIMENT_ID = "fig9"
@@ -24,26 +25,38 @@ QUICK_VOLUMES = (32, 48)
 BLOCK_SIZES = (4 * KB, 256 * KB, 1 * MB, 32 * MB)
 
 
-def _one(workload, protocol, options):
-    gmac_options = {"layer": "driver"}
-    if options:
-        gmac_options["protocol_options"] = options
-    return workload.execute(
-        mode="gmac", protocol=protocol, gmac_options=gmac_options
+def _spec(n, quick, protocol, options):
+    return RunSpec.make(
+        workload="stencil3d",
+        params=dict(n=n, steps=8 if quick else 20,
+                    dump_interval=4 if quick else 10),
+        protocol=protocol,
+        layer="driver",
+        protocol_options=options,
     )
+
+
+def specs(quick=False):
+    """Lazy plus one rolling run per block size, per volume."""
+    out = []
+    for n in (QUICK_VOLUMES if quick else VOLUMES):
+        out.append(_spec(n, quick, "lazy", None))
+        for block_size in BLOCK_SIZES:
+            out.append(_spec(n, quick, "rolling", {"block_size": block_size}))
+    return out
 
 
 def run(quick=False):
     volumes = QUICK_VOLUMES if quick else VOLUMES
     rows = []
     for n in volumes:
-        workload = Stencil3D(n=n, steps=8 if quick else 20,
-                             dump_interval=4 if quick else 10)
-        lazy = _one(workload, "lazy", None)
+        lazy = run_spec(_spec(n, quick, "lazy", None))
         row = [f"{n}^3", round(lazy.elapsed * 1e3, 2)]
         verified = lazy.verified
         for block_size in BLOCK_SIZES:
-            result = _one(workload, "rolling", {"block_size": block_size})
+            result = run_spec(
+                _spec(n, quick, "rolling", {"block_size": block_size})
+            )
             verified = verified and result.verified
             row.append(round(result.elapsed * 1e3, 2))
         row.append("yes" if verified else "NO")

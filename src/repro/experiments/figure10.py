@@ -8,7 +8,7 @@ mri-q) have high levels of I/O read activities."
 """
 
 from repro.sim.tracing import Category
-from repro.experiments.common import run_parboil
+from repro.experiments.common import run_parboil, parboil_spec
 from repro.experiments.result import ExperimentResult
 from repro.workloads.parboil import PARBOIL
 
@@ -35,6 +35,15 @@ COLUMNS = [
     Category.IO_WRITE,
     Category.CPU,
 ]
+
+
+def specs(quick=False):
+    """Rolling-update driver-layer runs, one per benchmark."""
+    return [
+        parboil_spec(name, "gmac", protocol="rolling", quick=quick,
+                     layer="driver")
+        for name in PARBOIL
+    ]
 
 
 def run(quick=False):

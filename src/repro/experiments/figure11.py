@@ -10,7 +10,8 @@ finish."
 
 from repro.util.units import KB, MB, GB, format_size
 from repro.hw.specs import PCIE_2_0_X16
-from repro.workloads.vecadd import transfer_phase_times
+from repro.experiments.common import run_spec
+from repro.experiments.spec import RunSpec
 from repro.experiments.result import ExperimentResult
 
 EXPERIMENT_ID = "fig11"
@@ -28,12 +29,32 @@ BLOCK_SIZES = (
 QUICK_BLOCK_SIZES = (4 * KB, 64 * KB, 256 * KB, 1 * MB, 32 * MB)
 
 
+def _spec(block_size, elements):
+    # A fixed generous rolling size isolates the block-size effect (the
+    # adaptive default would give 3 allocations x 2 = 6 blocks).
+    return RunSpec.make(
+        workload="vecadd",
+        params=dict(elements=elements),
+        protocol="rolling",
+        layer="driver",
+        protocol_options={"block_size": block_size, "rolling_size": 16},
+    )
+
+
+def specs(quick=False):
+    """One rolling-update vecadd run per swept block size."""
+    block_sizes = QUICK_BLOCK_SIZES if quick else BLOCK_SIZES
+    elements = 256 * 1024 if quick else 2 * 1024 * 1024
+    return [_spec(block_size, elements) for block_size in block_sizes]
+
+
 def run(quick=False):
     block_sizes = QUICK_BLOCK_SIZES if quick else BLOCK_SIZES
     elements = 256 * 1024 if quick else 2 * 1024 * 1024
     rows = []
     for block_size in block_sizes:
-        phases = transfer_phase_times(block_size, elements=elements)
+        outcome = run_spec(_spec(block_size, elements))
+        phases = outcome.phases or {}
         rows.append(
             [
                 format_size(block_size),
@@ -46,8 +67,8 @@ def run(quick=False):
                     PCIE_2_0_X16.effective_bandwidth(block_size, d2h=True)
                     / GB, 3
                 ),
-                phases["faults"],
-                "yes" if phases["verified"] else "NO",
+                outcome.faults,
+                "yes" if outcome.verified else "NO",
             ]
         )
     return ExperimentResult(

@@ -10,8 +10,9 @@ tpacf is almost constant for all block sizes."
 """
 
 from repro.util.units import KB, MB, format_size
+from repro.experiments.common import run_spec
+from repro.experiments.spec import RunSpec
 from repro.experiments.result import ExperimentResult
-from repro.workloads.parboil import Tpacf
 
 EXPERIMENT_ID = "fig12"
 TITLE = "tpacf time across block sizes for fixed rolling sizes 1, 2, 4"
@@ -29,6 +30,30 @@ QUICK_BLOCK_SIZES = (128 * KB, 512 * KB, 2 * MB)
 ROLLING_SIZES = (1, 2, 4)
 
 
+def _spec(block_size, rolling_size, n_points):
+    return RunSpec.make(
+        workload="tpacf",
+        params=dict(n_points=n_points),
+        protocol="rolling",
+        layer="driver",
+        protocol_options={
+            "block_size": block_size,
+            "rolling_size": rolling_size,
+        },
+    )
+
+
+def specs(quick=False):
+    """The (block size x rolling size) tpacf sweep."""
+    block_sizes = QUICK_BLOCK_SIZES if quick else BLOCK_SIZES
+    n_points = 131072 if quick else 524288
+    return [
+        _spec(block_size, rolling_size, n_points)
+        for block_size in block_sizes
+        for rolling_size in ROLLING_SIZES
+    ]
+
+
 def run(quick=False):
     block_sizes = QUICK_BLOCK_SIZES if quick else BLOCK_SIZES
     n_points = 131072 if quick else 524288
@@ -37,18 +62,7 @@ def run(quick=False):
         workload_rows = [format_size(block_size)]
         verified = True
         for rolling_size in ROLLING_SIZES:
-            workload = Tpacf(n_points=n_points)
-            result = workload.execute(
-                mode="gmac",
-                protocol="rolling",
-                gmac_options={
-                    "layer": "driver",
-                    "protocol_options": {
-                        "block_size": block_size,
-                        "rolling_size": rolling_size,
-                    },
-                },
-            )
+            result = run_spec(_spec(block_size, rolling_size, n_points))
             verified = verified and result.verified
             workload_rows.append(round(result.elapsed * 1e3, 2))
         workload_rows.append("yes" if verified else "NO")

@@ -1,0 +1,186 @@
+"""The run-spec model: one simulation run as a hashable value.
+
+Every experiment in the registry is a projection of independent simulation
+runs — (workload, parameters, mode, protocol, layer, options, machine,
+fault plan).  :class:`RunSpec` captures one such run as a frozen, picklable
+value with a canonical key, which is what makes the executor possible:
+
+* **fan-out** — specs cross process boundaries to worker pools untouched;
+* **dedup** — figures sharing a configuration (fig7/fig8 protocols,
+  fig10/chaos baselines) share the single run for it;
+* **caching** — the canonical key plus a source fingerprint addresses a
+  persistent on-disk result cache (:mod:`repro.experiments.cache`).
+
+Executing a spec yields a :class:`SpecOutcome`: the picklable summary of a
+:class:`~repro.workloads.base.WorkloadResult`, carrying everything any
+experiment table reads (timings, break-down, byte counters, phases,
+recovery statistics) but none of the live simulator objects.
+"""
+
+import copy
+import json
+from dataclasses import dataclass, field, asdict
+
+from repro.workloads.parboil import PARBOIL
+from repro.workloads.vecadd import VectorAdd
+from repro.workloads.stencil3d import Stencil3D
+
+#: Workload name -> constructor.  Parboil names plus the micro-benchmarks
+#: the figure sweeps use; params in a spec are constructor kwargs.
+WORKLOAD_FACTORIES = dict(PARBOIL)
+WORKLOAD_FACTORIES["vecadd"] = VectorAdd
+WORKLOAD_FACTORIES["stencil3d"] = Stencil3D
+
+
+def _as_items(mapping):
+    """Normalize an options dict to a sorted, hashable tuple of pairs."""
+    if not mapping:
+        return ()
+    return tuple(sorted(mapping.items()))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation run, as a value."""
+
+    workload: str
+    params: tuple = ()            # constructor kwargs, sorted pairs
+    mode: str = "gmac"            # "cuda", "cuda-db" or "gmac"
+    protocol: str = "rolling"     # "-" for non-gmac modes
+    layer: str = "runtime"        # gmac abstraction layer
+    protocol_options: tuple = ()  # sorted pairs
+    peer_dma: bool = False
+    machine: str = "reference"    # "reference" or "integrated"
+    fault_plan: tuple = None      # FaultPlan kwargs (sorted pairs) or None
+    recovery: tuple = None        # RecoveryPolicy kwargs, with fault_plan only
+
+    @classmethod
+    def make(cls, workload, params=None, mode="gmac", protocol="rolling",
+             layer="runtime", protocol_options=None, peer_dma=False,
+             machine="reference", fault_plan=None, recovery=None):
+        """Build a normalized spec.
+
+        Non-gmac modes ignore every GMAC knob, so those collapse to
+        sentinels — a cuda run requested "with" any protocol is the same
+        run, and hashes (and caches) identically.
+        """
+        if workload not in WORKLOAD_FACTORIES:
+            raise KeyError(f"unknown workload {workload!r}")
+        if mode != "gmac":
+            protocol = "-"
+            layer = "-"
+            protocol_options = None
+            peer_dma = False
+        if fault_plan is None:
+            recovery = None
+        return cls(
+            workload=workload,
+            params=_as_items(params),
+            mode=mode,
+            protocol=protocol,
+            layer=layer,
+            protocol_options=_as_items(protocol_options),
+            peer_dma=bool(peer_dma),
+            machine=machine,
+            fault_plan=_as_items(fault_plan) if fault_plan is not None else None,
+            recovery=_as_items(recovery) if recovery is not None else None,
+        )
+
+    def key(self):
+        """Canonical JSON key (stable across processes and sessions)."""
+        return json.dumps(asdict(self), sort_keys=True, default=str)
+
+    def _build_machine(self):
+        from repro.hw.machine import reference_system, integrated_system
+
+        if self.machine == "reference":
+            return reference_system()
+        if self.machine == "integrated":
+            return integrated_system()
+        raise KeyError(f"unknown machine kind {self.machine!r}")
+
+    def execute(self):
+        """Run this spec on a fresh machine; returns a :class:`SpecOutcome`."""
+        machine = self._build_machine()
+        plan = None
+        if self.fault_plan is not None:
+            from repro.faults import FaultPlan
+
+            plan = machine.install_faults(FaultPlan(**dict(self.fault_plan)))
+        workload = WORKLOAD_FACTORIES[self.workload](**dict(self.params))
+        gmac_options = None
+        if self.mode == "gmac":
+            gmac_options = {"layer": self.layer}
+            if self.protocol_options:
+                gmac_options["protocol_options"] = dict(self.protocol_options)
+            if self.peer_dma:
+                gmac_options["peer_dma"] = True
+            if plan is not None:
+                from repro.core.recovery import RecoveryPolicy
+
+                gmac_options["recovery"] = RecoveryPolicy(
+                    **dict(self.recovery or ())
+                )
+        result = workload.execute(
+            mode=self.mode,
+            protocol=self.protocol,
+            machine=machine,
+            gmac_options=gmac_options,
+        )
+        gmac = result.extra.get("gmac")
+        recovery_stats = {}
+        if gmac is not None and gmac.recovery is not None:
+            recovery_stats = copy.deepcopy(gmac.recovery.stats)
+        return SpecOutcome(
+            spec=self,
+            workload=result.workload,
+            mode=result.mode,
+            protocol=result.protocol,
+            elapsed=result.elapsed,
+            breakdown=dict(result.breakdown),
+            bytes_to_accelerator=result.bytes_to_accelerator,
+            bytes_to_host=result.bytes_to_host,
+            faults=result.faults,
+            signals=result.signals,
+            verified=result.verified,
+            phases=dict(getattr(workload, "phases", None) or {}) or None,
+            recovery_stats=recovery_stats,
+            injected_faults=plan.injected_total if plan is not None else 0,
+            link_bytes_moved={
+                str(direction): count
+                for direction, count in machine.link.bytes_moved.items()
+            },
+        )
+
+
+@dataclass
+class SpecOutcome:
+    """The picklable summary of one executed :class:`RunSpec`.
+
+    Mirrors the fields experiments read off a
+    :class:`~repro.workloads.base.WorkloadResult`, plus the derived values
+    (workload phases, recovery statistics, injected-fault and link-byte
+    counts) that previously required reaching into live ``extra`` objects.
+    """
+
+    spec: RunSpec
+    workload: str
+    mode: str
+    protocol: str
+    elapsed: float
+    breakdown: dict
+    bytes_to_accelerator: int
+    bytes_to_host: int
+    faults: int
+    signals: int
+    verified: bool
+    phases: dict = None
+    recovery_stats: dict = field(default_factory=dict)
+    injected_faults: int = 0
+    link_bytes_moved: dict = field(default_factory=dict)
+
+    @property
+    def label(self):
+        if self.mode != "gmac":
+            return self.mode.upper()
+        return f"GMAC {self.protocol}"

@@ -14,10 +14,10 @@ from repro.sim.resource import Resource
 class Disk:
     """A single-spindle disk with a FIFO timeline."""
 
-    def __init__(self, spec, clock):
+    def __init__(self, spec, clock, trace=False):
         self.spec = spec
         self.clock = clock
-        self.resource = Resource(spec.name, clock)
+        self.resource = Resource(spec.name, clock, trace=trace)
         self.bytes_read = 0
         self.bytes_written = 0
         #: Fault-injection plan consulted by the filesystem (short reads);

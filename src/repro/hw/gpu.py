@@ -19,14 +19,14 @@ from repro.hw.memory import DeviceMemory
 class Gpu:
     """An accelerator: device memory + serialized execution engine."""
 
-    def __init__(self, spec, clock, memory_base=None):
+    def __init__(self, spec, clock, memory_base=None, trace=False):
         self.spec = spec
         self.clock = clock
         if memory_base is None:
             self.memory = DeviceMemory(spec.memory_bytes)
         else:
             self.memory = DeviceMemory(spec.memory_bytes, base=memory_base)
-        self.engine = Resource(f"{spec.name} engine", clock)
+        self.engine = Resource(f"{spec.name} engine", clock, trace=trace)
         self.kernels_launched = 0
 
     def reset(self):

@@ -23,12 +23,12 @@ class Direction(enum.Enum):
 class Link:
     """A full-duplex link between system memory and accelerator memory."""
 
-    def __init__(self, spec, clock):
+    def __init__(self, spec, clock, trace=False):
         self.spec = spec
         self.clock = clock
         self._resources = {
-            Direction.H2D: Resource(f"{spec.name} H2D", clock),
-            Direction.D2H: Resource(f"{spec.name} D2H", clock),
+            Direction.H2D: Resource(f"{spec.name} H2D", clock, trace=trace),
+            Direction.D2H: Resource(f"{spec.name} D2H", clock, trace=trace),
         }
         self.bytes_moved = {Direction.H2D: 0, Direction.D2H: 0}
         self.transfer_count = {Direction.H2D: 0, Direction.D2H: 0}

@@ -40,8 +40,8 @@ class Machine:
         self.trace = TraceLog() if trace else None
         self.accounting = TimeAccounting(self.clock, trace=self.trace)
         self.cpu = Cpu(cpu_spec, self.clock, accounting=self.accounting)
-        self.link = Link(link_spec, self.clock)
-        self.disk = Disk(disk_spec, self.clock)
+        self.link = Link(link_spec, self.clock, trace=trace)
+        self.disk = Disk(disk_spec, self.clock, trace=trace)
         self.integrated = integrated
         #: Fault-injection plan (None = no injection, zero-cost no-ops).
         #: Driver contexts consult this dynamically; the disk gets its own
@@ -52,7 +52,7 @@ class Machine:
             # Multiple GPUs get overlapping device address ranges, exactly
             # the collision hazard Section 4.2 describes; adsmSafeAlloc is
             # the software fallback exercised against gpu_count > 1.
-            self.gpus.append(Gpu(gpu_spec, self.clock))
+            self.gpus.append(Gpu(gpu_spec, self.clock, trace=trace))
         if not self.gpus:
             raise ValueError("a heterogeneous machine needs at least one GPU")
 

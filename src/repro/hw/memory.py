@@ -14,6 +14,7 @@ import bisect
 
 import numpy as np
 
+from repro.util.buffers import as_byte_array
 from repro.util.errors import AddressError, AllocationError
 from repro.util.intervals import Interval
 
@@ -184,8 +185,8 @@ class DeviceMemory:
         return bytes(buffer[offset:offset + size])
 
     def write(self, address, data):
-        """Copy bytes into device memory."""
-        data = np.frombuffer(bytes(data), dtype=np.uint8)
+        """Copy a bytes-like buffer into device memory (source not copied)."""
+        data = as_byte_array(data)
         buffer, offset = self._locate(address, len(data))
         buffer[offset:offset + len(data)] = data
 

@@ -18,6 +18,7 @@ the library's own privileged access to memory it manages.
 
 import numpy as np
 
+from repro.util.buffers import as_byte_array
 from repro.util.errors import AddressError, AllocationError, ProtectionError
 from repro.util.intervals import Interval, RangeMap
 from repro.os.paging import PAGE_SIZE, Prot, page_ceil
@@ -212,9 +213,25 @@ class AddressSpace:
         mapping = self._require_mapped(address, size)
         return bytes(mapping.slice(Interval.sized(address, size)))
 
+    def peek_view(self, address, size):
+        """Borrow the backing bytes ignoring protections — zero-copy.
+
+        The returned read-only view aliases the mapping's backing store:
+        it is only valid until the mapping is unmapped, and it tracks later
+        writes.  Callers that need a stable snapshot use :meth:`peek`.
+        """
+        mapping = self._require_mapped(address, size)
+        return memoryview(
+            mapping.slice(Interval.sized(address, size))
+        ).toreadonly()
+
     def poke(self, address, data):
-        """Write bytes ignoring protections (library-internal access)."""
-        data = np.frombuffer(bytes(data), dtype=np.uint8)
+        """Write a bytes-like buffer ignoring protections — zero-copy.
+
+        Accepts any C-contiguous buffer (bytes, memoryview, numpy array);
+        the payload is viewed, not copied, on its way into the backing.
+        """
+        data = as_byte_array(data)
         mapping = self._require_mapped(address, len(data))
         mapping.slice(Interval.sized(address, len(data)))[:] = data
 

@@ -10,6 +10,7 @@ break-down and gives large sequential dumps their bandwidth advantage
 
 import numpy as np
 
+from repro.util.buffers import as_byte_view
 from repro.util.errors import IoError
 
 
@@ -54,20 +55,31 @@ class FileHandle:
         return chunk
 
     def write(self, data):
-        """Write bytes at the current position, extending the file."""
+        """Write a bytes-like buffer at the current position, extending
+        the file.  The payload is viewed, not copied, on its way into the
+        file buffer (zero-copy for memoryview/array sources)."""
         self._require_open()
         if self.mode == "r":
             raise IoError(f"file {self.path!r} not open for writing")
-        data = bytes(data)
+        data = as_byte_view(data)
+        length = len(data)
         buffer = self.fs._files[self.path]
-        end = self.position + len(data)
-        if end > len(buffer):
-            buffer.extend(b"\x00" * (end - len(buffer)))
-        buffer[self.position:end] = data
+        end = self.position + length
+        if self.position > len(buffer):
+            # Seek past EOF: zero-fill the gap (sparse-file semantics).
+            buffer.extend(bytes(self.position - len(buffer)))
+        if self.position == len(buffer):
+            # Appending — the common case — extends straight from the
+            # view, with no zero-filled temporary.
+            buffer += data
+        else:
+            if end > len(buffer):
+                buffer.extend(bytes(end - len(buffer)))
+            buffer[self.position:end] = data
         self.position = end
-        if data:
-            self.fs.disk.write(len(data), label=f"write:{self.path}")
-        return len(data)
+        if length:
+            self.fs.disk.write(length, label=f"write:{self.path}")
+        return length
 
     def seek(self, position):
         self._require_open()

@@ -109,7 +109,9 @@ class Libc:
 
     def _read_default(self, handle, address, size):
         with self._measure(Category.IO_READ):
-            data = handle.read(size)
+            # View, don't slice: commit chunks alias the file data instead
+            # of copying a bytes object per protection boundary.
+            data = memoryview(handle.read(size))
 
             def commit(offset, length):
                 self.process.address_space.poke(
@@ -126,12 +128,18 @@ class Libc:
 
             def commit(offset, length):
                 chunks.append(
-                    self.process.address_space.peek(address + offset, length)
+                    self.process.address_space.peek_view(
+                        address + offset, length
+                    )
                 )
 
             self._copy_with_syscall_semantics(
                 address, size, AccessKind.READ, commit
             )
+            if len(chunks) == 1:
+                # The whole range was accessible: hand the borrowed view
+                # straight to the file (zero-copy fast path).
+                return handle.write(chunks[0])
             return handle.write(b"".join(chunks))
 
     def _memset_default(self, address, value, size):

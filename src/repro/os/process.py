@@ -15,7 +15,8 @@ retry) is a crash, raised as :class:`SegmentationFault`.
 
 import numpy as np
 
-from repro.util.errors import SegmentationFault
+from repro.util.buffers import as_byte_view
+from repro.util.errors import AddressError, SegmentationFault
 from repro.os.paging import Prot, AccessKind, page_ceil
 from repro.os.address_space import AddressSpace
 from repro.os.signals import SegvInfo, SignalDispatcher
@@ -77,23 +78,62 @@ class Process:
         self._advance_through(address, size, kind)
 
     def read(self, address, size):
-        """Protection-checked bulk read; returns bytes."""
+        """Protection-checked bulk read; returns bytes (one copy, at join)."""
         chunks = []
 
         def commit(offset, length):
-            chunks.append(self.address_space.peek(address + offset, length))
+            chunks.append(
+                self.address_space.peek_view(address + offset, length)
+            )
 
         self._advance_through(address, size, AccessKind.READ, commit)
+        if len(chunks) == 1:
+            return bytes(chunks[0])
         return b"".join(chunks)
 
-    def write(self, address, data):
-        """Protection-checked bulk write, committing progressively."""
-        data = bytes(data)
+    def read_view(self, address, size):
+        """Protection-checked zero-copy read; returns a read-only view.
+
+        The fast path borrows the mapping's backing store directly (no
+        copy); an access spanning mappings falls back to a copying read.
+        Like :meth:`~repro.os.address_space.AddressSpace.peek_view`, the
+        borrowed view tracks later writes to the range.
+        """
+        self.touch(address, size, AccessKind.READ)
+        try:
+            return self.address_space.peek_view(address, size)
+        except AddressError:
+            return memoryview(self.read(address, size))
+
+    def read_into(self, address, out):
+        """Protection-checked read into a caller-provided writable buffer.
+
+        Fills ``out`` (any C-contiguous writable buffer) without any
+        intermediate allocation; returns the byte count read.
+        """
+        out = np.frombuffer(out, dtype=np.uint8)
+        space = self.address_space
 
         def commit(offset, length):
-            self.address_space.poke(address + offset, data[offset:offset + length])
+            out[offset:offset + length] = np.frombuffer(
+                space.peek_view(address + offset, length), dtype=np.uint8
+            )
 
-        self._advance_through(address, len(data), AccessKind.WRITE, commit)
+        self._advance_through(address, len(out), AccessKind.READ, commit)
+        return len(out)
+
+    def write(self, address, data):
+        """Protection-checked bulk write, committing progressively.
+
+        ``data`` may be any C-contiguous buffer (bytes, memoryview, numpy
+        array); it is viewed, never copied, on its way to the backing.
+        """
+        view = as_byte_view(data)
+
+        def commit(offset, length):
+            self.address_space.poke(address + offset, view[offset:offset + length])
+
+        self._advance_through(address, len(view), AccessKind.WRITE, commit)
 
     def fill(self, address, value, size):
         """Protection-checked memset."""
@@ -106,15 +146,18 @@ class Process:
     # -- typed helpers -----------------------------------------------------------
 
     def read_array(self, address, dtype, count):
-        """Protection-checked read returning a numpy array copy."""
+        """Protection-checked read returning a numpy array (one copy)."""
         dtype = np.dtype(dtype)
-        raw = self.read(address, dtype.itemsize * count)
-        return np.frombuffer(raw, dtype=dtype).copy()
+        out = np.empty(count, dtype=dtype)
+        if count:
+            self.read_into(address, out.view(np.uint8))
+        return out
 
     def write_array(self, address, array):
-        """Protection-checked write of a numpy array's bytes."""
+        """Protection-checked write of a numpy array's bytes (no copy)."""
         array = np.ascontiguousarray(array)
-        self.write(address, array.tobytes())
+        if array.nbytes:
+            self.write(address, array.reshape(-1).view(np.uint8))
 
 
 class Ptr:
@@ -153,6 +196,14 @@ class Ptr:
 
     def read_bytes(self, size, offset=0):
         return self.process.read(self.addr + offset, size)
+
+    def read_view(self, size, offset=0):
+        """Zero-copy read; see :meth:`Process.read_view`."""
+        return self.process.read_view(self.addr + offset, size)
+
+    def read_into(self, out, offset=0):
+        """Read into a caller buffer; see :meth:`Process.read_into`."""
+        return self.process.read_into(self.addr + offset, out)
 
     def write_bytes(self, data, offset=0):
         self.process.write(self.addr + offset, data)

@@ -43,13 +43,17 @@ class Completion:
 class Resource:
     """A FIFO device timeline attached to a :class:`SimClock`."""
 
-    def __init__(self, name, clock):
+    def __init__(self, name, clock, trace=False):
         self.name = name
         self.clock = clock
         self._available_at = clock.now
         self.busy_time = 0.0
         self.operation_count = 0
-        self.completions = None  # set to a list to record history
+        #: Per-operation history.  ``None`` (the default) records nothing:
+        #: a long experiment sweep schedules millions of operations, and an
+        #: always-on list grows without bound.  Traced machines (and tests,
+        #: via :meth:`record_history`) opt in.
+        self.completions = [] if trace else None
 
     @property
     def available_at(self):

@@ -29,6 +29,11 @@ from repro.os.libc import Libc
 from repro.cuda.runtime import CudaRuntime
 from repro.core.api import Gmac
 
+#: Process-global count of :meth:`Workload.execute` calls.  The executor's
+#: cache tests assert a warm rerun performs *zero* executions; there is no
+#: other observable distinguishing "simulated quickly" from "not run".
+EXECUTIONS = 0
+
 
 class Application:
     """Process + filesystem + libc: the environment one run executes in."""
@@ -105,6 +110,8 @@ class Workload(abc.ABC):
     def execute(self, mode="gmac", protocol="rolling", machine=None,
                 gmac_options=None):
         """Run one variant on a fresh machine; returns a WorkloadResult."""
+        global EXECUTIONS
+        EXECUTIONS += 1
         if machine is None:
             machine = reference_system()
         app = Application(machine)

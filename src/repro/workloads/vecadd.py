@@ -72,21 +72,31 @@ class VectorAdd(Workload):
     # -- variants ----------------------------------------------------------------
 
     def _produce(self, app, ptr, values):
-        """Sequential element production: compute a chunk, store a chunk."""
-        raw = values.tobytes()
+        """Sequential element production: compute a chunk, store a chunk.
+
+        The source array is viewed, never serialized: each stored chunk is
+        a memoryview slice flowing into the simulated memory's numpy
+        backing with no intermediate ``bytes``.
+        """
+        raw = memoryview(values).cast("B")
         for offset in range(0, len(raw), PRODUCE_CHUNK):
             chunk = raw[offset:offset + PRODUCE_CHUNK]
             app.machine.cpu.stream(len(chunk), CPU_STREAM_RATE, label="init")
             ptr.write_bytes(chunk, offset=offset)
 
     def _consume(self, app, ptr, nbytes):
-        """Sequential result consumption; returns the bytes read."""
-        pieces = []
+        """Sequential result consumption; returns the values as float32.
+
+        Chunks land directly in one preallocated output array
+        (:meth:`~repro.os.process.Ptr.read_into`); the only copy is the
+        one that materializes the result itself.
+        """
+        out = np.empty(nbytes, dtype=np.uint8)
         for offset in range(0, nbytes, PRODUCE_CHUNK):
             size = min(PRODUCE_CHUNK, nbytes - offset)
-            pieces.append(ptr.read_bytes(size, offset=offset))
+            ptr.read_into(out[offset:offset + size], offset=offset)
             app.machine.cpu.stream(size, CPU_STREAM_RATE, label="consume")
-        return b"".join(pieces)
+        return out.view(np.float32)
 
     def run_cuda(self, app):
         cuda = app.cuda()
@@ -104,8 +114,7 @@ class VectorAdd(Workload):
         cuda.launch(VECADD, a=dev_a, b=dev_b, c=dev_c, n=self.elements)
         cuda.cuda_thread_synchronize()
         cuda.cuda_memcpy_d2h(host_c, dev_c, nbytes)
-        raw = self._consume(app, host_c, nbytes)
-        return {"c": np.frombuffer(raw, dtype=np.float32)}
+        return {"c": self._consume(app, host_c, nbytes)}
 
     def run_cuda_db(self, app, chunk_bytes=256 * 1024):
         """The hand-tuned double-buffered baseline (Section 2.2).
@@ -133,7 +142,7 @@ class VectorAdd(Workload):
         host_c = app.process.malloc(nbytes)
 
         for device, values in ((dev_a, self.a), (dev_b, self.b)):
-            raw = values.tobytes()
+            raw = memoryview(values).cast("B")
             for index, offset in enumerate(range(0, nbytes, chunk_bytes)):
                 buffer = index % 2
                 # The synchronization the paper warns about: the staging
@@ -153,8 +162,7 @@ class VectorAdd(Workload):
         )
         cuda.cuda_thread_synchronize()
         cuda.cuda_memcpy_d2h(host_c, dev_c, nbytes)
-        raw = self._consume(app, host_c, nbytes)
-        return {"c": np.frombuffer(raw, dtype=np.float32)}
+        return {"c": self._consume(app, host_c, nbytes)}
 
     def run_gmac(self, app, gmac):
         nbytes = self.vector_bytes
@@ -171,7 +179,7 @@ class VectorAdd(Workload):
         h2d_done = completion.start  # the launch waited for the H2D queue
         gmac.sync()
         sync_end = clock.now
-        raw = self._consume(app, c, nbytes)
+        result = self._consume(app, c, nbytes)
         read_end = clock.now
 
         ideal_compute = 2 * nbytes / CPU_STREAM_RATE
@@ -183,7 +191,7 @@ class VectorAdd(Workload):
             "init_s": init_end - init_start,
             "kernel_wait_s": sync_end - init_end,
         }
-        return {"c": np.frombuffer(raw, dtype=np.float32)}
+        return {"c": result}
 
 
 def transfer_phase_times(block_size, elements=2 * 1024 * 1024):

@@ -8,6 +8,23 @@ from repro.workloads.base import Application
 from repro.cuda.kernels import Kernel
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the persistent result cache at a session tmp dir.
+
+    Tests must neither read stale outcomes from, nor deposit new ones
+    into, the shared cache under benchmarks/results/.
+    """
+    from repro.experiments import common
+    from repro.experiments.cache import ResultCache
+
+    common.set_persistent_cache(
+        ResultCache(tmp_path_factory.mktemp("result-cache"))
+    )
+    yield
+    common.set_persistent_cache(None)
+
+
 @pytest.fixture
 def machine():
     return reference_system()
