@@ -1,0 +1,162 @@
+"""Hot-path engine benchmark: cold, serial quick-sweep wall clock.
+
+Measures what the flat block-state engine is for — the host-side cost of
+simulating the full quick figure sweep (59 specs) — and writes
+``BENCH_hotpath.json`` at the repo root:
+
+* **cold runs**: each sweep executes in a fresh interpreter (cold process,
+  cold memoization caches, no persistent result cache), serially, exactly
+  as the acceptance methodology prescribes;
+* **calibration**: a fixed numpy+interpreter workload timed in the same
+  child process.  Wall-clock on shared machines drifts by 2x within
+  minutes, so regression checks compare the *normalized* metric
+  ``sweep_s / calibration_s`` against ``hotpath_baseline.json`` (recorded
+  on the pre-PR engine) rather than raw seconds;
+* **throughput counters**: one instrumented run's faults/s,
+  block-transitions/s and host-seconds-per-virtual-second from
+  :meth:`repro.sim.tracing.TimeAccounting.throughput`.
+
+Run directly (``python benchmarks/bench_hotpath.py``) or via pytest.
+"""
+
+import json
+import os
+import pathlib
+import statistics
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "hotpath_baseline.json"
+OUTPUT_PATH = ROOT / "BENCH_hotpath.json"
+
+#: Cold sweeps to run; the median smooths scheduler noise between children.
+DEFAULT_RUNS = 3
+
+#: CI fails when the normalized metric regresses by more than this factor.
+REGRESSION_LIMIT = 1.25
+
+#: Executed in a fresh interpreter per cold run.  Calibration scales with
+#: the same resources the simulator burns (numpy ufunc dispatch + Python
+#: bytecode), so sweep/calibration is comparable across machines.
+_CHILD = r"""
+import json, sys, time
+import numpy as np
+
+
+def calibrate_once():
+    start = time.perf_counter()
+    total = 0
+    for i in range(2000):
+        a = np.arange(4096, dtype=np.int64)
+        total += int(((a * 3 + i) & 0x7FFF).sum())
+    for i in range(1000000):
+        total += i
+    return time.perf_counter() - start
+
+
+calibration_s = min(calibrate_once() for _ in range(3))
+
+from repro.experiments.executor import expand
+
+specs = expand(["fig7", "fig8", "fig9", "fig10", "fig11", "fig12"],
+               quick=True)
+start = time.perf_counter()
+for spec in specs:
+    spec.execute()
+sweep_s = time.perf_counter() - start
+
+from repro.workloads.vecadd import VectorAdd
+
+result = VectorAdd().execute(mode="gmac", protocol="rolling")
+accounting = result.extra["machine"].accounting
+# Engines predating the throughput counters (the baseline recording run
+# reuses this child against the pre-PR checkout) just omit the sample.
+throughput = (
+    accounting.throughput() if hasattr(accounting, "throughput") else None
+)
+
+print(json.dumps({
+    "calibration_s": calibration_s,
+    "sweep_s": sweep_s,
+    "spec_count": len(specs),
+    "throughput": throughput,
+}))
+"""
+
+
+def run_cold_sweep(repo_root=ROOT):
+    """One cold, serial quick sweep in a fresh interpreter."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(pathlib.Path(repo_root) / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def run_benchmark(runs=DEFAULT_RUNS, output_path=OUTPUT_PATH):
+    """Run the cold sweeps, compare against the baseline, write the JSON."""
+    samples = [run_cold_sweep() for _ in range(runs)]
+    sweep_s = [s["sweep_s"] for s in samples]
+    calibration_s = [s["calibration_s"] for s in samples]
+    median_sweep = statistics.median(sweep_s)
+    median_calibration = statistics.median(calibration_s)
+    normalized = median_sweep / median_calibration
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    base_normalized = baseline["normalized"]
+    report = {
+        "spec_count": samples[0]["spec_count"],
+        "runs": runs,
+        "sweep_s": sweep_s,
+        "sweep_s_median": median_sweep,
+        "calibration_s_median": median_calibration,
+        "normalized": normalized,
+        "baseline": baseline,
+        "speedup_vs_baseline": base_normalized / normalized,
+        "regression_limit": REGRESSION_LIMIT,
+        "regressed": normalized > base_normalized * REGRESSION_LIMIT,
+        "throughput": samples[-1]["throughput"],
+    }
+    output_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def test_hotpath_cold_sweep_vs_baseline():
+    """Cold-sweep regression gate: normalized cost within the CI limit."""
+    report = run_benchmark()
+    assert report["spec_count"] == 59
+    assert not report["regressed"], (
+        f"hot-path regression: normalized {report['normalized']:.2f} vs "
+        f"baseline {report['baseline']['normalized']:.2f} "
+        f"(limit {REGRESSION_LIMIT}x)"
+    )
+
+
+def main():
+    report = run_benchmark()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if report["regressed"]:
+        print(
+            f"REGRESSION: normalized {report['normalized']:.2f} exceeds "
+            f"baseline {report['baseline']['normalized']:.2f} "
+            f"by more than {REGRESSION_LIMIT}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"hot-path speedup vs pre-PR baseline: "
+        f"{report['speedup_vs_baseline']:.2f}x "
+        f"(sweep median {report['sweep_s_median']:.3f}s over "
+        f"{report['spec_count']} specs)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,22 +18,37 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 def pytest_addoption(parser):
     group = parser.getgroup("repro", "experiment sweep execution")
-    group.addoption(
-        "--jobs", type=int, default=1,
-        help="worker processes for experiment sweeps (default: serial)",
-    )
-    group.addoption(
-        "--no-cache", action="store_true",
-        help="ignore the persistent result cache under results/cache/",
-    )
+    # When benchmarks/ is collected alongside tests/ (e.g. ``pytest .``),
+    # this conftest is not an initial one: another plugin may already have
+    # added the options, or option registration may be closed entirely.
+    # Either way the benches must still collect and run with defaults.
+    try:
+        group.addoption(
+            "--jobs", type=int, default=1,
+            help="worker processes for experiment sweeps (default: serial)",
+        )
+        group.addoption(
+            "--no-cache", action="store_true",
+            help="ignore the persistent result cache under results/cache/",
+        )
+    except ValueError:
+        pass
+
+
+def _option(config, name, default):
+    """getoption with a fallback for runs where registration was skipped."""
+    try:
+        return config.getoption(name)
+    except ValueError:
+        return default
 
 
 @pytest.fixture
 def executor(request):
     """The sweep executor configured from the --jobs/--no-cache options."""
     return ExperimentExecutor(
-        jobs=request.config.getoption("--jobs"),
-        use_cache=not request.config.getoption("--no-cache"),
+        jobs=_option(request.config, "--jobs", 1),
+        use_cache=not _option(request.config, "--no-cache", False),
     )
 
 

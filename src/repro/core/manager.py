@@ -1,19 +1,32 @@
 """The shared memory manager (Figure 5's central box).
 
-The manager owns every shared region, indexes their blocks in a balanced
-binary tree (Section 5.2: "GMAC keeps memory blocks in a balanced binary
-tree, which requires O(log2(n)) operations to locate a given block"),
-builds the shared address space (Section 4.2), dispatches page-fault
-signals to the active coherence protocol, and performs every data transfer
-— all on the CPU, never on the accelerator: the asymmetry that gives ADSM
-its name.
+The manager owns every shared region, builds the shared address space
+(Section 4.2), dispatches page-fault signals to the active coherence
+protocol, and performs every data transfer — all on the CPU, never on the
+accelerator: the asymmetry that gives ADSM its name.
+
+Fault dispatch is flat: the faulting *region* comes from the ordered region
+map (one bisect), and the faulting block index is shift/mask arithmetic on
+the region's :class:`~repro.core.blocks.BlockTable` — blocks are fixed-size
+inside a region, so no per-block search structure is consulted.  The paper's
+Section 5.2 balanced tree ("GMAC keeps memory blocks in a balanced binary
+tree, which requires O(log2(n)) operations to locate a given block") is
+retained purely as the *cost oracle*: it is maintained at alloc/free time
+and its exact per-lookup comparison counts are sampled into flat per-region
+arrays, so every fault charges the identical virtual time the tree search
+would have cost while the dispatch itself is O(1).
 """
+
+import numpy as np
 
 from repro.util.errors import AllocationError, GmacError
 from repro.util.intervals import Interval, RangeMap
 from repro.util.avltree import AvlTree
 from repro.sim.tracing import Category
 from repro.os.paging import Prot
+from repro.core.blocks import (
+    Block, BlockState, DIRTY_CODE, INVALID_CODE, index_runs,
+)
 from repro.core.region import SharedRegion
 from repro.core.costs import GmacCostModel
 
@@ -33,7 +46,12 @@ class Manager:
         #: an enabled fault plan).  None keeps every path unchanged.
         self.recovery = None
         self._regions = RangeMap()
-        self._block_index = AvlTree()
+        #: The Section 5.2 balanced tree, kept as the fault-cost oracle:
+        #: mutated only at alloc/free, never searched on the fault path.
+        self._cost_tree = AvlTree()
+        #: Bumped on every cost-tree mutation; invalidates the per-region
+        #: fault-step caches.
+        self._steps_epoch = 0
         self._allocation_counter = 0
         # Figure 8's byte counters, split by direction and by cause.
         self.bytes_to_accelerator = 0
@@ -100,9 +118,11 @@ class Manager:
                 self.protocol.block_size_for(size),
             )
             self._regions.add(region.interval, region)
-            for block in region.blocks:
-                self._block_index.insert(block.host_start, block)
-            self.clock.advance(self.costs.block_setup_s * len(region.blocks))
+            table = region.table
+            for index in range(table.n_blocks):
+                self._cost_tree.insert(table.start_of(index), None)
+            self._steps_epoch += 1
+            self.clock.advance(self.costs.block_setup_s * table.n_blocks)
             self.protocol.on_alloc(region)
         return region
 
@@ -146,8 +166,10 @@ class Manager:
         with self.accounting.measure(Category.FREE, label=region.name):
             self.clock.advance(self.costs.api_call_s)
             self.protocol.on_free(region)
-            for block in region.blocks:
-                self._block_index.delete(block.host_start)
+            table = region.table
+            for index in range(table.n_blocks):
+                self._cost_tree.delete(table.start_of(index))
+            self._steps_epoch += 1
             self._regions.remove(host_start)
             self.clock.advance(self.costs.mmap_s)
             self.process.address_space.munmap(region.host_start)
@@ -185,7 +207,7 @@ class Manager:
 
     @property
     def block_count(self):
-        return len(self._block_index)
+        return len(self._cost_tree)
 
     # -- protection and state ---------------------------------------------------------
 
@@ -195,12 +217,20 @@ class Manager:
         self.process.address_space.mprotect(interval.start, interval.size, prot)
 
     def set_block(self, block, state, prot):
-        block.state = state
-        self.set_prot(block.interval, prot)
+        table = block.region.table
+        index = block.index
+        table.states[index] = state.code
+        self.accounting.count_transitions(1)
+        start = table.start_of(index)
+        self.clock.advance(self.costs.mprotect_s)
+        self.process.address_space.mprotect(
+            start, table.end_of(index) - start, prot
+        )
 
     def set_region_blocks(self, region, state, prot):
         """Bulk state+protection change for a whole region (one mprotect)."""
-        region.set_all_states(state)
+        region.table.fill(state)
+        self.accounting.count_transitions(region.table.n_blocks)
         self.set_prot(region.interval, prot)
 
     def set_blocks_range(self, blocks, state, prot):
@@ -210,10 +240,17 @@ class Manager:
         in order); the whole span is re-protected with a single mprotect,
         so n adjacent transitions charge one syscall instead of n.
         """
-        for block in blocks:
-            block.state = state
+        self.set_index_range(
+            blocks[0].region, blocks[0].index, blocks[-1].index, state, prot
+        )
+
+    def set_index_range(self, region, first, last, state, prot):
+        """Vectorized state+protection change over an inclusive index run."""
+        table = region.table
+        table.fill_range(first, last, state)
+        self.accounting.count_transitions(last - first + 1)
         self.set_prot(
-            Interval(blocks[0].interval.start, blocks[-1].interval.end), prot
+            Interval(table.start_of(first), table.end_of(last)), prot
         )
 
     # -- data movement ------------------------------------------------------------------
@@ -236,36 +273,64 @@ class Manager:
         Copy; asynchronous ones (rolling-update's eager eviction) cost the
         CPU only the issue overhead and overlap with whatever it does next.
         """
-        self.bytes_to_accelerator += block.size
+        return self.flush_index(
+            block.region, block.index, sync=sync
+        )
+
+    def flush_index(self, region, index, sync=True):
+        """Flush one block by (region, index) — no façade materialized."""
+        table = region.table
+        host_start = table.start_of(index)
+        size = table.end_of(index) - host_start
+        device_start = region.device_start + (host_start - region.host_start)
+        self.bytes_to_accelerator += size
         if sync:
-            with self.accounting.measure(Category.COPY, label=f"flush:{block.region.name}"):
+            with self.accounting.measure(Category.COPY, label=region.flush_label):
+                if self.recovery is None:
+                    return self.layer.to_device(
+                        device_start, host_start, size, sync=True
+                    )
                 return self._attempt_transfer(
                     lambda: self.layer.to_device(
-                        block.device_start, block.host_start, block.size,
-                        sync=True,
+                        device_start, host_start, size, sync=True,
                     ),
-                    label=f"flush:{block.region.name}",
+                    label=region.flush_label,
                 )
-        self.eager_bytes_to_accelerator += block.size
-        with self.accounting.measure(Category.COPY, label=f"eager:{block.region.name}"):
+        self.eager_bytes_to_accelerator += size
+        with self.accounting.measure(Category.COPY, label=region.eager_label):
             # Only the issue cost lands on the CPU; the DMA itself overlaps.
+            if self.recovery is None:
+                return self.layer.to_device(
+                    device_start, host_start, size, sync=False
+                )
             return self._attempt_transfer(
                 lambda: self.layer.to_device(
-                    block.device_start, block.host_start, block.size,
-                    sync=False,
+                    device_start, host_start, size, sync=False,
                 ),
-                label=f"eager:{block.region.name}",
+                label=region.eager_label,
             )
 
     def fetch_to_host(self, block):
         """Copy a block's accelerator bytes back to the host (synchronous)."""
-        self.bytes_to_host += block.size
-        with self.accounting.measure(Category.COPY, label=f"fetch:{block.region.name}"):
+        return self.fetch_index(block.region, block.index)
+
+    def fetch_index(self, region, index):
+        """Fetch one block by (region, index) — no façade materialized."""
+        table = region.table
+        host_start = table.start_of(index)
+        size = table.end_of(index) - host_start
+        device_start = region.device_start + (host_start - region.host_start)
+        self.bytes_to_host += size
+        with self.accounting.measure(Category.COPY, label=region.fetch_label):
+            if self.recovery is None:
+                return self.layer.to_host(
+                    host_start, device_start, size, sync=True
+                )
             return self._attempt_transfer(
                 lambda: self.layer.to_host(
-                    block.host_start, block.device_start, block.size, sync=True
+                    host_start, device_start, size, sync=True
                 ),
-                label=f"fetch:{block.region.name}",
+                label=region.fetch_label,
             )
 
     def ensure_device_canonical(self, region, interval):
@@ -274,67 +339,109 @@ class Manager:
         Dirty blocks are flushed (and demoted to read-only); read-only
         blocks already match; invalid blocks are device-canonical by
         definition.  Used by bulk-operation interposition before
-        device-side copies.  Adjacent dirty blocks demote as one run —
-        one mprotect per run, not per block.
+        device-side copies.  Dirty blocks are found with one vectorized
+        scan and demote as contiguous runs — one mprotect per run, not
+        per block.
         """
-        from repro.core.blocks import BlockState
-
-        run = []
-        for block in region.blocks_overlapping(interval):
-            if block.state is BlockState.DIRTY:
-                self.flush_to_device(block, sync=True)
-                run.append(block)
-            elif run:
-                self.protocol.demote_clean_range(run)
-                run = []
-        if run:
-            self.protocol.demote_clean_range(run)
+        span = region.block_range(interval)
+        if span is None:
+            return
+        first, last = span
+        window = region.table.states[first:last + 1]
+        dirty = np.flatnonzero(window == DIRTY_CODE) + first
+        for run_first, run_last in index_runs(dirty):
+            for index in range(run_first, run_last + 1):
+                self.flush_index(region, index, sync=True)
+            self.protocol.demote_clean_range(
+                region.blocks[run_first:run_last + 1]
+            )
 
     def ensure_host_canonical(self, region, interval):
         """Make the host copy of ``interval`` valid (fetch invalid blocks).
 
         Each invalid block still fetches individually (transfers are
-        per-block), but adjacent fetched blocks are re-protected with a
-        single range mprotect.
+        per-block), but the invalid set is found with one vectorized scan
+        and adjacent fetched blocks re-protect with a single range
+        mprotect per run.
         """
-        from repro.core.blocks import BlockState
-        from repro.os.paging import Prot
-
-        run = []
-        for block in region.blocks_overlapping(interval):
-            if block.state is BlockState.INVALID:
-                self.fetch_to_host(block)
-                run.append(block)
-            elif run:
-                self.set_blocks_range(run, BlockState.READ_ONLY, Prot.READ)
-                run = []
-        if run:
-            self.set_blocks_range(run, BlockState.READ_ONLY, Prot.READ)
+        span = region.block_range(interval)
+        if span is None:
+            return
+        first, last = span
+        window = region.table.states[first:last + 1]
+        invalid = np.flatnonzero(window == INVALID_CODE) + first
+        for run_first, run_last in index_runs(invalid):
+            for index in range(run_first, run_last + 1):
+                self.fetch_index(region, index)
+            self.set_index_range(
+                region, run_first, run_last, BlockState.READ_ONLY, Prot.READ
+            )
 
     # -- fault dispatch -----------------------------------------------------------------
+
+    def _fault_steps_for(self, region):
+        """Per-block fault search costs, sampled from the cost oracle.
+
+        For any address inside a block, the Section 5.2 tree search visits
+        a fixed node path that depends only on whether the address *is* the
+        block's start key or lies strictly inside the block.  Both step
+        counts are sampled once per (region, tree epoch) into flat int32
+        arrays, so the fault path charges the exact tree cost with one
+        array read.
+        """
+        cached = region.fault_steps
+        if cached is not None and cached[0] == self._steps_epoch:
+            return cached
+        table = region.table
+        n = table.n_blocks
+        eq_steps = np.zeros(n, dtype=np.int32)
+        in_steps = np.zeros(n, dtype=np.int32)
+        for index in range(n):
+            key = table.start_of(index)
+            eq_steps[index] = self._cost_tree.floor_steps(key)[1]
+            in_steps[index] = self._cost_tree.floor_steps(key + 1)[1]
+        cached = (self._steps_epoch, eq_steps, in_steps)
+        region.fault_steps = cached
+        return cached
 
     def _on_segv(self, info):
         """The SIGSEGV handler GMAC registers (Section 4.3).
 
-        Locates the faulting block via the balanced tree, charging the
-        paper's O(log n) search cost, then lets the protocol apply the
-        Figure 6 state transition.  Returns False for addresses outside
-        any shared region so unrelated faults still crash the application.
+        Locates the faulting region via the ordered region map and the
+        faulting block by shift/mask arithmetic, charging the paper's
+        O(log n) balanced-tree search cost from the sampled cost oracle,
+        then lets the protocol apply the Figure 6 state transition.
+        Returns False for addresses outside any shared region so unrelated
+        faults still crash the application.
         """
         with self.accounting.measure(Category.SIGNAL, label="segv"):
-            before = self._block_index.search_steps
-            found = self._block_index.floor(info.address)
-            steps = self._block_index.search_steps - before
+            address = info.address
+            found = self._regions.find(address)
+            if found is None:
+                # Miss: charge exactly what the tree search for a
+                # non-shared address would have cost, then decline.
+                _, steps = self._cost_tree.floor_steps(address)
+                self.clock.advance(
+                    self.costs.signal_base_s
+                    + steps * self.costs.signal_per_step_s
+                )
+                return False
+            region = found[1]
+            table = region.table
+            index = table.index_of(address)
+            _, eq_steps, in_steps = self._fault_steps_for(region)
+            # Plain int: a numpy scalar here would poison the virtual clock
+            # (np.float64 reprs leak into every downstream figure).
+            steps = int(
+                eq_steps[index] if address == table.start_of(index)
+                else in_steps[index]
+            )
             self.clock.advance(
                 self.costs.signal_base_s + steps * self.costs.signal_per_step_s
             )
-            if found is None:
-                return False
-            block = found[1]
-            if not block.interval.contains(info.address):
-                return False
             self.fault_count += 1
-            self.protocol.on_fault(block, info.access)
+            self.accounting.count_fault()
+            self.protocol.on_fault(region.blocks[index], info.access)
             return True
 
     # -- call/return boundaries (the consistency model, Section 3.3) ---------------------

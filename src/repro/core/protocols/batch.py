@@ -39,25 +39,28 @@ class BatchUpdate(Protocol):
         # Everything to the accelerator, needed or not; batch-update is the
         # naive baseline, so the annotation is deliberately ignored.  The
         # only exception is a host copy already invalidated by an earlier
-        # back-to-back call: there is nothing newer to transfer.
+        # back-to-back call: there is nothing newer to transfer.  The
+        # non-invalid set comes from one vectorized table scan.
         for region in regions:
-            for block in region.blocks:
-                if block.state is not BlockState.INVALID:
-                    self.manager.flush_to_device(block, sync=True)
-                    block.state = BlockState.INVALID
+            table = region.table
+            for index in table.indices_not_in(BlockState.INVALID):
+                self.manager.flush_index(region, int(index), sync=True)
+            table.fill(BlockState.INVALID)
 
     def post_sync(self, regions):
         # Everything back, implicitly invalidating the accelerator copy.
         for region in regions:
-            for block in region.blocks:
-                self.manager.fetch_to_host(block)
-                block.state = BlockState.DIRTY
+            table = region.table
+            for index in range(table.n_blocks):
+                self.manager.fetch_index(region, index)
+            table.fill(BlockState.DIRTY)
 
     def invalidate_region(self, region):
         # Without fault detection the host copy must be refreshed eagerly.
-        for block in region.blocks:
-            self.manager.fetch_to_host(block)
-            block.state = BlockState.DIRTY
+        table = region.table
+        for index in range(table.n_blocks):
+            self.manager.fetch_index(region, index)
+        table.fill(BlockState.DIRTY)
 
     def after_device_recovery(self, regions):
         # Batch runs unprotected with host copies always writable; the

@@ -45,10 +45,11 @@ class LazyUpdate(Protocol):
 
     def pre_call(self, regions, written=None):
         # Dirty objects travel; then everything is invalidated and fenced.
+        # The dirty set comes from one vectorized scan of the state table
+        # rather than a per-block Python loop.
         for region in regions:
-            for block in region.blocks:
-                if block.state is BlockState.DIRTY:
-                    self.manager.flush_to_device(block, sync=True)
+            for index in region.table.indices_in(BlockState.DIRTY):
+                self.manager.flush_index(region, int(index), sync=True)
             if written is not None and region not in written:
                 # Annotated as read-only for the kernel: both copies now
                 # match, so the host copy stays valid (no read-back later).

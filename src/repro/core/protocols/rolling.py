@@ -45,6 +45,9 @@ class RollingUpdate(Protocol):
             raise ValueError("a fixed rolling size must be at least 1 block")
         self.adapt_increment = adapt_increment
         #: FIFO of dirty blocks, oldest first (the "memory block cache").
+        #: Ordering lives here; *membership* is the per-region
+        #: ``table.dirty_bits`` index bitmap, so the is-it-queued checks on
+        #: demote/discard are O(1) bitmap reads instead of list scans.
         self._dirty = deque()
         #: The in-flight eager transfer; evictions stage through a single
         #: host buffer, so issuing a new one waits for the previous DMA.
@@ -65,6 +68,7 @@ class RollingUpdate(Protocol):
             self.rolling_size += self.adapt_increment
 
     def on_free(self, region):
+        region.table.dirty_bits[:] = False
         self._dirty = deque(
             block for block in self._dirty if block.region is not region
         )
@@ -87,6 +91,7 @@ class RollingUpdate(Protocol):
 
     def _mark_dirty(self, block):
         self.manager.set_block(block, BlockState.DIRTY, Prot.RW)
+        block.region.table.dirty_bits[block.index] = True
         self._dirty.append(block)
         while len(self._dirty) > max(self.rolling_size, 1):
             self._evict(self._dirty.popleft())
@@ -102,6 +107,7 @@ class RollingUpdate(Protocol):
         size is too small for multi-pass initialisation).
         """
         self.evictions += 1
+        block.region.table.dirty_bits[block.index] = False
         self._await_staging_buffer()
         self._last_eviction = self.manager.flush_to_device(block, sync=False)
         self.manager.set_block(block, BlockState.READ_ONLY, Prot.READ)
@@ -134,6 +140,7 @@ class RollingUpdate(Protocol):
         # threads link.pending through to the launch).
         while self._dirty:
             block = self._dirty.popleft()
+            block.region.table.dirty_bits[block.index] = False
             self.manager.flush_to_device(block, sync=False)
             block.state = BlockState.READ_ONLY
         for region in regions:
@@ -153,20 +160,24 @@ class RollingUpdate(Protocol):
         # Blocks return on demand, one fault and one block at a time.
         pass
 
-    def demote_clean(self, block):
-        if block in self._dirty:
+    def _unqueue(self, block):
+        """Drop ``block`` from the dirty FIFO if queued (O(1) bitmap test)."""
+        bits = block.region.table.dirty_bits
+        if bits[block.index]:
+            bits[block.index] = False
             self._dirty.remove(block)
+
+    def demote_clean(self, block):
+        self._unqueue(block)
         super().demote_clean(block)
 
     def demote_clean_range(self, blocks):
         for block in blocks:
-            if block in self._dirty:
-                self._dirty.remove(block)
+            self._unqueue(block)
         super().demote_clean_range(blocks)
 
     def discard_block(self, block):
-        if block in self._dirty:
-            self._dirty.remove(block)
+        self._unqueue(block)
         super().discard_block(block)
 
     def invalidate_region(self, region):
@@ -182,6 +193,7 @@ class RollingUpdate(Protocol):
         evicted = 0
         while self._dirty:
             block = self._dirty.popleft()
+            block.region.table.dirty_bits[block.index] = False
             self.manager.flush_to_device(block, sync=True)
             self.manager.set_block(block, BlockState.READ_ONLY, Prot.READ)
             evicted += 1
@@ -191,6 +203,8 @@ class RollingUpdate(Protocol):
     def after_device_recovery(self, regions):
         # The eviction pipeline died with the device: every staged block
         # was re-flushed by the recovery replay, so the FIFO starts empty.
+        for block in self._dirty:
+            block.region.table.dirty_bits[block.index] = False
         self._dirty.clear()
         self._last_eviction = None
         super().after_device_recovery(regions)

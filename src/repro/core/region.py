@@ -1,17 +1,17 @@
 """Shared regions: one ``adsmAlloc`` allocation each.
 
 A region records the host virtual range, the device range backing it, and
-the list of blocks it is divided into.  In the common case the host and
-device start addresses are *equal* — the Section 4.2 trick of mmap-ing
-system memory at the exact range ``cudaMalloc`` returned, so one pointer
-works on both processors.  Regions created by ``adsmSafeAlloc`` (the
-multi-accelerator fallback) carry different addresses, and ``adsmSafe()``
-performs the translation.
+the flat :class:`~repro.core.blocks.BlockTable` it is divided into.  In the
+common case the host and device start addresses are *equal* — the Section
+4.2 trick of mmap-ing system memory at the exact range ``cudaMalloc``
+returned, so one pointer works on both processors.  Regions created by
+``adsmSafeAlloc`` (the multi-accelerator fallback) carry different
+addresses, and ``adsmSafe()`` performs the translation.
 """
 
 from repro.util.intervals import Interval
 from repro.os.paging import page_ceil
-from repro.core.blocks import Block
+from repro.core.blocks import Block, BlockTable, CODE_STATES
 
 
 class SharedRegion:
@@ -31,13 +31,30 @@ class SharedRegion:
         self.mapped_size = page_ceil(size)
         self.block_size = min(page_ceil(block_size), self.mapped_size)
         self.interval = Interval.sized(host_start, self.mapped_size)
-        self.blocks = self._build_blocks()
+        self.table = BlockTable(host_start, self.mapped_size, self.block_size)
+        self._blocks = None
+        #: Cached (epoch, eq_steps, in_steps) fault-cost arrays; owned by
+        #: the manager (see Manager._fault_steps_for).
+        self.fault_steps = None
+        #: Transfer trace labels, prebuilt once: the manager attaches one to
+        #: every copy, and the f-string showed up in fault-heavy profiles.
+        self.flush_label = f"flush:{name}"
+        self.eager_label = f"eager:{name}"
+        self.fetch_label = f"fetch:{name}"
 
-    def _build_blocks(self):
-        blocks = []
-        for index, chunk in enumerate(self.interval.split_chunks(self.block_size)):
-            blocks.append(Block(self, index, chunk))
-        return blocks
+    @property
+    def blocks(self):
+        """Block façades, built lazily: hot paths work on the table arrays
+        and never materialize these."""
+        if self._blocks is None:
+            self._blocks = [
+                Block(self, index) for index in range(self.table.n_blocks)
+            ]
+        return self._blocks
+
+    @property
+    def n_blocks(self):
+        return self.table.n_blocks
 
     @property
     def is_aliased(self):
@@ -54,32 +71,39 @@ class SharedRegion:
 
     def block_containing(self, host_address):
         """The block holding ``host_address`` (regions are contiguous)."""
-        index = (host_address - self.host_start) // self.block_size
-        if index < 0 or index >= len(self.blocks):
+        index = self.table.index_of(host_address)
+        if index < 0 or index >= self.table.n_blocks:
             raise ValueError(
                 f"address {host_address:#x} not inside region {self.name}"
             )
         return self.blocks[index]
 
-    def blocks_overlapping(self, interval):
-        """All blocks intersecting ``interval`` (host addressing)."""
+    def block_range(self, interval):
+        """Inclusive (first, last) block indices under ``interval``, or
+        None when the intersection with the region is empty."""
         span = self.interval.intersection(interval)
         if not span:
+            return None
+        return self.table.range_of(span.start, span.end)
+
+    def blocks_overlapping(self, interval):
+        """All blocks intersecting ``interval`` (host addressing)."""
+        indices = self.block_range(interval)
+        if indices is None:
             return []
-        first = (span.start - self.host_start) // self.block_size
-        last = (span.end - 1 - self.host_start) // self.block_size
+        first, last = indices
         return self.blocks[first:last + 1]
 
     def blocks_in_state(self, state):
-        return [block for block in self.blocks if block.state is state]
+        blocks = self.blocks
+        return [blocks[int(i)] for i in self.table.indices_in(state)]
 
     def set_all_states(self, state):
-        for block in self.blocks:
-            block.state = state
+        self.table.fill(state)
 
     def __repr__(self):
         return (
             f"SharedRegion({self.name!r}, host={self.host_start:#x}, "
             f"device={self.device_start:#x}, size={self.size}, "
-            f"blocks={len(self.blocks)})"
+            f"blocks={self.table.n_blocks})"
         )

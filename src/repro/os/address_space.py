@@ -21,7 +21,15 @@ import numpy as np
 from repro.util.buffers import as_byte_array
 from repro.util.errors import AddressError, AllocationError, ProtectionError
 from repro.util.intervals import Interval, RangeMap
-from repro.os.paging import PAGE_SIZE, Prot, page_ceil
+from repro.os.paging import PAGE_SIZE, AccessKind, Prot, page_ceil
+
+#: AccessKind -> required protection bits, flattened to plain ints once:
+#: the MMU consults this on every access check, and the enum property +
+#: IntFlag conversion were measurable there.
+_REQUIRED_PROT = {
+    AccessKind.READ: int(Prot.READ),
+    AccessKind.WRITE: int(Prot.WRITE),
+}
 
 #: Where non-fixed mmaps are placed, loosely mimicking the Linux x86-64
 #: mmap area.  The device heap (DEVICE_BASE) sits far above this, which is
@@ -65,19 +73,38 @@ class Mapping:
         first, last = self._page_range(interval)
         self.page_prots[first:last] = int(prot)
 
+    def set_prot_span(self, address, size, prot):
+        """Like :meth:`set_prot` for a page-aligned span (hot path)."""
+        first = (address - self.interval.start) // PAGE_SIZE
+        self.page_prots[first:first + size // PAGE_SIZE] = int(prot)
+
     def prot_of(self, address):
         return Prot(int(self.page_prots[(address - self.start) // PAGE_SIZE]))
 
     def first_violation(self, interval, kind):
         """Address of the first page lacking ``kind``'s required bit."""
-        first, last = self._page_range(interval)
-        required = int(kind.required_prot)
-        violations = (self.page_prots[first:last] & required) != required
+        return self.first_violation_at(
+            interval.start, interval.end - interval.start, kind
+        )
+
+    def first_violation_at(self, address, size, kind):
+        """Like :meth:`first_violation` without an Interval (hot path)."""
+        start = self.interval.start
+        first = (address - start) // PAGE_SIZE
+        last = (page_ceil(address + size) - start) // PAGE_SIZE
+        required = _REQUIRED_PROT[kind]
+        prots = self.page_prots
+        # Faults overwhelmingly land on an access's first page (the retry
+        # loop re-enters exactly where it stopped), so a scalar test there
+        # skips building the vector mask for wide spans.
+        if prots[first] & required != required:
+            return max(start + first * PAGE_SIZE, address)
+        violations = (prots[first:last] & required) != required
         index = int(np.argmax(violations)) if violations.any() else -1
         if index < 0:
             return None
-        page_start = self.start + (first + index) * PAGE_SIZE
-        return max(page_start, interval.start)
+        page_start = start + (first + index) * PAGE_SIZE
+        return max(page_start, address)
 
     def slice(self, interval):
         """Writable numpy view of the backing bytes for ``interval``."""
@@ -85,12 +112,36 @@ class Mapping:
         hi = interval.end - self.start
         return self.backing[lo:hi]
 
+    def slice_at(self, address, size):
+        """Like :meth:`slice` without materializing an Interval (hot path)."""
+        lo = address - self.start
+        return self.backing[lo:lo + size]
+
 
 class AddressSpace:
-    """All mappings of one process, plus the software MMU."""
+    """All mappings of one process, plus the software MMU.
+
+    The MMU keeps a one-entry-per-:class:`~repro.os.paging.AccessKind`
+    **soft TLB**: the maximal run of pages around the last successful
+    access check whose protections permit that kind.  Sequential bulk
+    accesses (the common workload pattern) then resolve by two integer
+    compares instead of a mapping lookup plus a page-bit scan.
+    ``mmap``/``munmap`` bump a generation counter that invalidates every
+    cached run at once; ``mprotect`` invalidates surgically — only a change
+    that revokes a kind's required bit inside that kind's cached run can
+    shrink the run, so grants (the fault-handling path) keep runs alive.
+    """
 
     def __init__(self):
         self._mappings = RangeMap()
+        self._generation = 0
+        self._tlb = {}
+        #: Last mapping a lookup resolved — accesses are strongly local, so
+        #: most lookups skip the range-map bisect.  Only mmap/munmap change
+        #: the mapping *set* (mprotect does not), hence the separate
+        #: generation counter.
+        self._map_generation = 0
+        self._last_mapping = None
 
     def __len__(self):
         return len(self._mappings)
@@ -130,6 +181,8 @@ class AddressSpace:
                 raise AllocationError(f"address space exhausted for {size} bytes")
         mapping = Mapping(interval.start, size, prot)
         self._mappings.add(interval, mapping)
+        self._generation += 1
+        self._map_generation += 1
         return mapping
 
     def conflict_at(self, start, size):
@@ -142,6 +195,9 @@ class AddressSpace:
     def munmap(self, start):
         """Remove the mapping starting at ``start``."""
         _, mapping = self._mappings.remove(start)
+        self._generation += 1
+        self._map_generation += 1
+        self._last_mapping = None
         return mapping
 
     def mprotect(self, address, size, prot):
@@ -152,18 +208,45 @@ class AddressSpace:
         """
         if address % PAGE_SIZE != 0:
             raise ProtectionError(f"mprotect address {address:#x} not page aligned")
-        interval = Interval.sized(address, page_ceil(size))
-        found = self._mappings.find(address)
-        if found is None or not found[0].contains_interval(interval):
-            raise ProtectionError(f"mprotect range {interval} is not mapped")
-        found[1].set_prot(interval, prot)
+        size = page_ceil(size)
+        mapping = self.mapping_at(address)
+        if mapping is None or address + size > mapping.interval.end:
+            raise ProtectionError(
+                f"mprotect range {Interval.sized(address, size)} is not mapped"
+            )
+        mapping.set_prot_span(address, size, prot)
+        # Surgical soft-TLB invalidation: granting a bit can never shrink an
+        # accessible run, so only a change that *revokes* a kind's required
+        # bit inside that kind's cached run drops the entry.  Fault handling
+        # mprotects to grant access, so cached runs survive the fault storm
+        # of a kernel prologue; revocations (block demotion/invalidate)
+        # still invalidate exactly the runs they can affect.
+        prot_int = int(prot)
+        end = address + size
+        for kind in tuple(self._tlb):
+            required = _REQUIRED_PROT[kind]
+            if prot_int & required == required:
+                continue
+            entry = self._tlb[kind]
+            if address < entry[2] and end > entry[1]:
+                del self._tlb[kind]
 
     # -- the software MMU -----------------------------------------------------
 
     def mapping_at(self, address):
         """The mapping containing ``address`` or None."""
+        cached = self._last_mapping
+        if (
+            cached is not None
+            and cached[0] == self._map_generation
+            and cached[1].interval.start <= address < cached[1].interval.end
+        ):
+            return cached[1]
         found = self._mappings.find(address)
-        return found[1] if found else None
+        if found is None:
+            return None
+        self._last_mapping = (self._map_generation, found[1])
+        return found[1]
 
     def check(self, address, size, kind):
         """Return the first faulting address for an access, or None.
@@ -179,11 +262,15 @@ class AddressSpace:
             mapping = self.mapping_at(cursor)
             if mapping is None:
                 return cursor
-            span = Interval(cursor, min(end, mapping.end))
-            violation = mapping.first_violation(span, kind)
+            span_end = mapping.interval.end
+            if span_end > end:
+                span_end = end
+            violation = mapping.first_violation_at(
+                cursor, span_end - cursor, kind
+            )
             if violation is not None:
                 return violation
-            cursor = span.end
+            cursor = span_end
         return None
 
     def writable_prefix(self, address, size, kind):
@@ -191,12 +278,49 @@ class AddressSpace:
 
         The process access loop uses this to commit the accessible prefix
         of a large access before faulting on the rest — matching how real
-        hardware retires stores up to the faulting instruction.
+        hardware retires stores up to the faulting instruction.  A soft-TLB
+        hit (the access falls inside the cached accessible run for this
+        kind, and no protection change happened since) skips the walk.
         """
+        entry = self._tlb.get(kind)
+        if (
+            entry is not None
+            and entry[0] == self._generation
+            and entry[1] <= address
+            and address + size <= entry[2]
+        ):
+            return size
         fault = self.check(address, size, kind)
         if fault is None:
+            self._cache_accessible_run(address, size, kind)
             return size
         return fault - address
+
+    def _cache_accessible_run(self, address, size, kind):
+        """Cache the maximal ``kind``-accessible page run around an access.
+
+        Only single-mapping accesses are cached (GMAC blocks never span
+        mappings); the run extends left and right from the access until a
+        page lacks the required bit or the mapping ends.
+        """
+        mapping = self.mapping_at(address)
+        if mapping is None or address + size > mapping.end:
+            return
+        required = _REQUIRED_PROT[kind]
+        ok = (mapping.page_prots & required) == required
+        first = (address - mapping.start) // PAGE_SIZE
+        last = (address + size - 1 - mapping.start) // PAGE_SIZE
+        blocked_before = np.flatnonzero(~ok[:first])
+        lo_page = int(blocked_before[-1]) + 1 if len(blocked_before) else 0
+        blocked_after = np.flatnonzero(~ok[last + 1:])
+        hi_page = (
+            last + 1 + int(blocked_after[0]) if len(blocked_after) else len(ok)
+        )
+        self._tlb[kind] = (
+            self._generation,
+            mapping.start + lo_page * PAGE_SIZE,
+            mapping.start + hi_page * PAGE_SIZE,
+        )
 
     # -- privileged data access (no protection checks) ------------------------
 
@@ -211,7 +335,7 @@ class AddressSpace:
     def peek(self, address, size):
         """Read bytes ignoring protections (library-internal access)."""
         mapping = self._require_mapped(address, size)
-        return bytes(mapping.slice(Interval.sized(address, size)))
+        return bytes(mapping.slice_at(address, size))
 
     def peek_view(self, address, size):
         """Borrow the backing bytes ignoring protections — zero-copy.
@@ -221,9 +345,7 @@ class AddressSpace:
         writes.  Callers that need a stable snapshot use :meth:`peek`.
         """
         mapping = self._require_mapped(address, size)
-        return memoryview(
-            mapping.slice(Interval.sized(address, size))
-        ).toreadonly()
+        return memoryview(mapping.slice_at(address, size)).toreadonly()
 
     def poke(self, address, data):
         """Write a bytes-like buffer ignoring protections — zero-copy.
@@ -233,16 +355,16 @@ class AddressSpace:
         """
         data = as_byte_array(data)
         mapping = self._require_mapped(address, len(data))
-        mapping.slice(Interval.sized(address, len(data)))[:] = data
+        mapping.slice_at(address, len(data))[:] = data
 
     def poke_fill(self, address, value, size):
         """memset ignoring protections."""
         mapping = self._require_mapped(address, size)
-        mapping.slice(Interval.sized(address, size))[:] = value & 0xFF
+        mapping.slice_at(address, size)[:] = value & 0xFF
 
     def view(self, address, dtype, count):
         """Writable numpy view (privileged; used by oracles and the library)."""
         dtype = np.dtype(dtype)
         size = dtype.itemsize * count
         mapping = self._require_mapped(address, size)
-        return mapping.slice(Interval.sized(address, size)).view(dtype)
+        return mapping.slice_at(address, size).view(dtype)

@@ -13,6 +13,15 @@ import numpy as np
 from repro.util.buffers import as_byte_view
 from repro.util.errors import IoError
 
+#: Memoized outputs of :meth:`FileSystem.create_random`, keyed by the value
+#: parameters (not the path).  The generated contents are a pure function of
+#: (size, seed, dtype), and an experiment sweep regenerates identical input
+#: files for every spec.  The cached array is read-only and shared; the
+#: *file* gets a fresh mutable bytearray copy per call, so per-machine file
+#: contents stay independently writable.
+_RANDOM_FILE_CACHE = {}
+_RANDOM_FILE_CACHE_MAX = 64
+
 
 class FileHandle:
     """An open file with a position, in the POSIX style."""
@@ -122,9 +131,18 @@ class FileSystem:
             raise IoError(
                 f"file size {size} is not a multiple of {dtype} item size"
             )
-        rng = np.random.default_rng(seed)
-        values = rng.random(size // dtype.itemsize).astype(dtype)
-        self._files[path] = bytearray(values.tobytes())
+        key = (size, seed, dtype.str)
+        cached = _RANDOM_FILE_CACHE.get(key)
+        if cached is None:
+            rng = np.random.default_rng(seed)
+            values = rng.random(size // dtype.itemsize).astype(dtype)
+            values.setflags(write=False)
+            cached = (values, values.tobytes())
+            while len(_RANDOM_FILE_CACHE) >= _RANDOM_FILE_CACHE_MAX:
+                _RANDOM_FILE_CACHE.pop(next(iter(_RANDOM_FILE_CACHE)))
+            _RANDOM_FILE_CACHE[key] = cached
+        values, raw = cached
+        self._files[path] = bytearray(raw)
         return values
 
     def exists(self, path):

@@ -27,6 +27,10 @@ class AccessKind(enum.Enum):
     READ = "read"
     WRITE = "write"
 
+    # Members are singletons; the identity hash skips Enum's name-based
+    # hashing on the access-check fast path (soft-TLB dict lookups).
+    __hash__ = object.__hash__
+
     @property
     def required_prot(self):
         if self is AccessKind.READ:

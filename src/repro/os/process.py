@@ -51,22 +51,26 @@ class Process:
         ``commit(offset, length)`` is invoked for each accessible chunk, in
         order.  Returns only when the whole range has been covered.
         """
-        space = self.address_space
+        # Bound methods hoisted out of the loop: this runs once per chunk of
+        # every simulated load/store, and with the address-space soft TLB the
+        # prefix check itself is now cheap enough for the lookups to show.
+        writable_prefix = self.address_space.writable_prefix
+        deliver = self.signals.deliver
         offset = 0
         while offset < size:
             cursor = address + offset
             remaining = size - offset
-            accessible = space.writable_prefix(cursor, remaining, kind)
+            accessible = writable_prefix(cursor, remaining, kind)
             if accessible > 0:
                 if commit is not None:
                     commit(offset, accessible)
                 offset += accessible
                 continue
             fault_address = cursor
-            self.signals.deliver(SegvInfo(fault_address, kind))
+            deliver(SegvInfo(fault_address, kind))
             # The handler must have repaired the faulting page; a second
             # fault at the same byte means it did not.
-            if space.writable_prefix(cursor, remaining, kind) == 0:
+            if writable_prefix(cursor, remaining, kind) == 0:
                 raise SegmentationFault(
                     fault_address,
                     kind,

@@ -42,8 +42,15 @@ class SignalDispatcher:
         self.unhandled = 0
 
     def register(self, handler):
-        """Install a handler; later registrations run first (like chaining)."""
-        self._handlers.insert(0, handler)
+        """Install a handler; later registrations run first (like chaining).
+
+        Idempotent: re-registering an installed handler keeps its position
+        and does not duplicate it.  A GMAC instance re-arms its handler on
+        recovery paths, and a duplicated entry would double-handle (and
+        double-charge) every subsequent fault.
+        """
+        if handler not in self._handlers:
+            self._handlers.insert(0, handler)
         return handler
 
     def unregister(self, handler):

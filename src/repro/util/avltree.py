@@ -175,6 +175,29 @@ class AvlTree:
                 node = node.left
         return best
 
+    def floor_steps(self, key):
+        """Like :meth:`floor`, but returns ``((k, v) or None, steps)``
+        without touching the shared ``search_steps`` counter.
+
+        The GMAC manager uses this to *sample* the Section 5.2 search cost
+        of the balanced tree — the step counts are cached in flat per-region
+        arrays, so the fault hot path charges the exact tree cost without
+        re-walking the tree (see ``Manager._fault_steps_for``).
+        """
+        node = self._root
+        best = None
+        steps = 0
+        while node is not None:
+            steps += 1
+            if node.key == key:
+                return (node.key, node.value), steps
+            if node.key < key:
+                best = (node.key, node.value)
+                node = node.right
+            else:
+                node = node.left
+        return best, steps
+
     def ceiling(self, key):
         """Return (k, v) with the smallest k >= key, or None."""
         node = self._root

@@ -34,6 +34,45 @@ from repro.core.api import Gmac
 #: other observable distinguishing "simulated quickly" from "not run".
 EXECUTIONS = 0
 
+#: Memoized oracle outputs, keyed by workload class + constructor params.
+#: ``reference()`` is a pure function of the constructor arguments (every
+#: workload builds its inputs deterministically from them), while a figure
+#: sweep executes many specs sharing one workload configuration — cuda vs
+#: gmac, per protocol, per block size — and each used to recompute the
+#: identical oracle.  Cached arrays are marked read-only so verification
+#: can never corrupt a shared copy.
+_REFERENCE_CACHE = {}
+_REFERENCE_CACHE_MAX = 32
+
+#: Memoized deterministic inputs, keyed by an explicit per-workload key.
+#: Every constructor builds its input arrays as a pure function of the
+#: constructor parameters (sizes + rng seed), and a figure sweep constructs
+#: the same configuration dozens of times — cuda vs gmac, per protocol,
+#: per block size.  Cached arrays are handed out read-only, so a variant
+#: that mutated a shared input would raise instead of silently corrupting
+#: the next run.
+_INPUT_CACHE = {}
+_INPUT_CACHE_MAX = 64
+
+
+def memoized_input(key, builder):
+    """Build-once deterministic input arrays.
+
+    ``builder`` is a zero-argument pure function returning a numpy array or
+    a tuple of numpy arrays; the result is cached under ``key`` (which must
+    include every parameter the builder depends on) and marked read-only.
+    """
+    cached = _INPUT_CACHE.get(key)
+    if cached is None:
+        cached = builder()
+        arrays = cached if isinstance(cached, tuple) else (cached,)
+        for array in arrays:
+            array.setflags(write=False)
+        while len(_INPUT_CACHE) >= _INPUT_CACHE_MAX:
+            _INPUT_CACHE.pop(next(iter(_INPUT_CACHE)))
+        _INPUT_CACHE[key] = cached
+    return cached
+
 
 class Application:
     """Process + filesystem + libc: the environment one run executes in."""
@@ -192,8 +231,50 @@ class Workload(abc.ABC):
         params["seed"] = self.seed + repetition
         return params
 
+    def _reference_key(self):
+        """Cache key for the oracle, or None when params are not hashable.
+
+        Mirrors :meth:`_repeat_params`: constructor parameters are stored
+        as same-named attributes.  A parameter that is missing or not a
+        plain scalar disables caching for that workload instance rather
+        than risking a stale or colliding entry.
+        """
+        import inspect
+
+        items = []
+        for name in inspect.signature(type(self).__init__).parameters:
+            if name == "self":
+                continue
+            if not hasattr(self, name):
+                return None
+            value = getattr(self, name)
+            if isinstance(value, np.generic):
+                # Constructors may normalize to numpy scalars (e.g. a
+                # float32 source term); key on the exact Python value.
+                value = value.item()
+            if not isinstance(value, (int, float, str, bool, bytes)):
+                return None
+            items.append((name, value))
+        return (type(self).__module__, type(self).__qualname__, tuple(items))
+
+    def _reference_outputs(self):
+        key = self._reference_key()
+        if key is None:
+            return self.reference()
+        cached = _REFERENCE_CACHE.get(key)
+        if cached is None:
+            cached = {}
+            for name, value in self.reference().items():
+                array = np.asarray(value)
+                array.setflags(write=False)
+                cached[name] = array
+            while len(_REFERENCE_CACHE) >= _REFERENCE_CACHE_MAX:
+                _REFERENCE_CACHE.pop(next(iter(_REFERENCE_CACHE)))
+            _REFERENCE_CACHE[key] = cached
+        return cached
+
     def _verify(self, outputs):
-        expected = self.reference()
+        expected = self._reference_outputs()
         for key, reference_value in expected.items():
             if key not in outputs:
                 return False
@@ -201,6 +282,13 @@ class Workload(abc.ABC):
             reference_value = np.asarray(reference_value)
             if produced.shape != reference_value.shape:
                 return False
+            if (
+                produced.dtype == reference_value.dtype
+                and np.array_equal(produced, reference_value)
+            ):
+                # Bitwise match (the usual case: both sides run the same
+                # float ops) — skip allclose's temporaries.
+                continue
             if not np.allclose(produced, reference_value,
                                rtol=1e-4, atol=1e-5):
                 return False

@@ -13,8 +13,12 @@ TWO_PI = np.float32(2.0 * np.pi)
 
 def phase_matrix(k_coords, voxels):
     """arg[k, v] = 2*pi * (k . x) for sample rows and voxel rows."""
+    # copy=False: the inputs are float32 already on every call path; the
+    # astype is a dtype guarantee, not a defensive copy (the product
+    # allocates fresh output regardless).
     return TWO_PI * (
-        k_coords.astype(np.float32) @ voxels.astype(np.float32).T
+        k_coords.astype(np.float32, copy=False)
+        @ voxels.astype(np.float32, copy=False).T
     )
 
 
@@ -25,7 +29,10 @@ def fhd_reference(k_coords, phi_r, phi_i, voxels):
     sin_arg = np.sin(arg)
     r_fhd = phi_r @ cos_arg + phi_i @ sin_arg
     i_fhd = phi_i @ cos_arg - phi_r @ sin_arg
-    return r_fhd.astype(np.float32), i_fhd.astype(np.float32)
+    return (
+        r_fhd.astype(np.float32, copy=False),
+        i_fhd.astype(np.float32, copy=False),
+    )
 
 
 def q_reference(k_coords, phi_magnitude, voxels):
@@ -33,7 +40,10 @@ def q_reference(k_coords, phi_magnitude, voxels):
     arg = phase_matrix(k_coords, voxels)
     r_q = phi_magnitude @ np.cos(arg)
     i_q = phi_magnitude @ np.sin(arg)
-    return r_q.astype(np.float32), i_q.astype(np.float32)
+    return (
+        r_q.astype(np.float32, copy=False),
+        i_q.astype(np.float32, copy=False),
+    )
 
 
 def make_samples(rng, count):

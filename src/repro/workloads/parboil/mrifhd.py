@@ -11,7 +11,7 @@ levels of I/O read activities" that would benefit from peer DMA.
 import numpy as np
 
 from repro.cuda.kernels import Kernel
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, memoized_input
 from repro.workloads.parboil.mri_common import (
     fhd_reference,
     make_samples,
@@ -53,9 +53,13 @@ class MriFhd(Workload):
         super().__init__(seed=seed)
         self.n_samples = n_samples
         self.n_voxels = n_voxels
-        rng = np.random.default_rng(seed)
-        self.samples = make_samples(rng, n_samples)
-        self.voxels = make_voxels(rng, n_voxels)
+        def build():
+            rng = np.random.default_rng(seed)
+            return make_samples(rng, n_samples), make_voxels(rng, n_voxels)
+
+        self.samples, self.voxels = memoized_input(
+            ("mrifhd", n_samples, n_voxels, seed), build
+        )
 
     @property
     def samples_bytes(self):

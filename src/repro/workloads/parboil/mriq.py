@@ -11,7 +11,7 @@ rolling-update avoids some unnecessary data transfers").
 import numpy as np
 
 from repro.cuda.kernels import Kernel
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, memoized_input
 from repro.workloads.parboil.mri_common import q_reference, make_voxels
 
 CPU_STREAM_RATE = 2.0e9
@@ -53,10 +53,16 @@ class MriQ(Workload):
         self.n_samples = n_samples
         self.n_voxels = n_voxels
         self.read_fraction = read_fraction
-        rng = np.random.default_rng(seed)
-        self.k_coords = make_voxels(rng, n_samples)  # same row layout
-        self.phi_mag = rng.random(n_samples).astype(np.float32)
-        self.voxels = make_voxels(rng, n_voxels)
+        def build():
+            rng = np.random.default_rng(seed)
+            k_coords = make_voxels(rng, n_samples)  # same row layout
+            phi_mag = rng.random(n_samples).astype(np.float32)
+            voxels = make_voxels(rng, n_voxels)
+            return k_coords, phi_mag, voxels
+
+        self.k_coords, self.phi_mag, self.voxels = memoized_input(
+            ("mriq", n_samples, n_voxels, seed), build
+        )
 
     @property
     def trajectory_bytes(self):

@@ -11,7 +11,7 @@ batch-update suffers its second-largest Figure 7 slow-down (18.61x).
 import numpy as np
 
 from repro.cuda.kernels import Kernel
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, memoized_input
 
 CPU_STREAM_RATE = 2.0e9
 
@@ -49,12 +49,18 @@ class RysPolynomial(Workload):
         super().__init__(seed=seed)
         self.n_integrals = n_integrals
         self.n_roots = n_roots
-        rng = np.random.default_rng(seed)
-        self.params = (
-            rng.random(4 * n_integrals).astype(np.float32) * 2.0 - 1.0
+        def build():
+            rng = np.random.default_rng(seed)
+            params = (
+                rng.random(4 * n_integrals).astype(np.float32) * 2.0 - 1.0
+            )
+            roots = rng.random(n_roots).astype(np.float32)
+            weights = rng.random(n_roots).astype(np.float32)
+            return params, roots, weights
+
+        self.params, self.roots, self.weights = memoized_input(
+            ("rpes", n_integrals, n_roots, seed), build
         )
-        self.roots = rng.random(n_roots).astype(np.float32)
-        self.weights = rng.random(n_roots).astype(np.float32)
 
     @property
     def params_bytes(self):

@@ -10,7 +10,7 @@ encoder's frame pipeline) and the SAD table goes back to disk.
 import numpy as np
 
 from repro.cuda.kernels import Kernel
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, memoized_input
 
 CPU_STREAM_RATE = 2.0e9
 
@@ -75,16 +75,20 @@ class SumAbsoluteDifferences(Workload):
         self.width = width
         self.height = height
         self.search = search
-        rng = np.random.default_rng(seed)
-        self.current = rng.integers(
-            0, 256, size=(height, width), dtype=np.uint8
+        def build():
+            rng = np.random.default_rng(seed)
+            current = rng.integers(0, 256, size=(height, width), dtype=np.uint8)
+            reference_frame = np.clip(
+                current.astype(np.int16)
+                + rng.integers(-12, 13, size=(height, width)),
+                0,
+                255,
+            ).astype(np.uint8)
+            return current, reference_frame
+
+        self.current, self.reference_frame = memoized_input(
+            ("sad", width, height, seed), build
         )
-        self.reference_frame = np.clip(
-            self.current.astype(np.int16)
-            + rng.integers(-12, 13, size=(height, width)),
-            0,
-            255,
-        ).astype(np.uint8)
 
     @property
     def frame_bytes(self):

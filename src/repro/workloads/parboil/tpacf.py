@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.util.units import MB
 from repro.cuda.kernels import Kernel
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, memoized_input
 
 CPU_STREAM_RATE = 4.0e9
 
@@ -99,8 +99,12 @@ class Tpacf(Workload):
     def __init__(self, n_points=524288, seed=7):
         super().__init__(seed=seed)
         self.n_points = n_points
-        rng = np.random.default_rng(seed)
-        self.raw = rng.random((n_points, 4)).astype(np.float32)
+        self.raw = memoized_input(
+            ("tpacf", n_points, seed),
+            lambda: np.random.default_rng(seed)
+            .random((n_points, 4))
+            .astype(np.float32),
+        )
 
     @property
     def points_bytes(self):

@@ -21,7 +21,7 @@ interposition performs in block-sized chunks).
 import numpy as np
 
 from repro.cuda.kernels import Kernel
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, memoized_input
 
 #: Stencil coefficients: centre and face weights of the 7-point operator.
 CENTER_WEIGHT = np.float32(0.4)
@@ -71,8 +71,12 @@ class Stencil3D(Workload):
         self.steps = steps
         self.dump_interval = dump_interval
         self.source_value = np.float32(source_value)
-        rng = np.random.default_rng(seed)
-        self.initial = rng.random((n, n, n)).astype(np.float32)
+        self.initial = memoized_input(
+            ("stencil3d", n, seed),
+            lambda: np.random.default_rng(seed)
+            .random((n, n, n))
+            .astype(np.float32),
+        )
 
     @property
     def volume_bytes(self):

@@ -21,7 +21,7 @@ The experiment extracts two phase times per block size:
 import numpy as np
 
 from repro.cuda.kernels import Kernel
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, memoized_input
 
 #: Rate at which the CPU inner loop produces/consumes vector elements; a
 #: cache-resident store loop streams much faster than the PCIe bus moves
@@ -58,9 +58,13 @@ class VectorAdd(Workload):
     def __init__(self, elements=2 * 1024 * 1024, seed=7):
         super().__init__(seed=seed)
         self.elements = elements
-        rng = np.random.default_rng(seed)
-        self.a = rng.random(elements).astype(np.float32)
-        self.b = rng.random(elements).astype(np.float32)
+        def build():
+            rng = np.random.default_rng(seed)
+            a = rng.random(elements).astype(np.float32)
+            b = rng.random(elements).astype(np.float32)
+            return a, b
+
+        self.a, self.b = memoized_input(("vecadd", elements, seed), build)
 
     @property
     def vector_bytes(self):

@@ -65,6 +65,25 @@ class TestDispatch:
         dispatcher.deliver(SegvInfo(0, AccessKind.WRITE))
         assert accounting.totals[Category.SIGNAL] == pytest.approx(2e-6)
 
+    def test_register_is_idempotent(self, clock):
+        dispatcher = SignalDispatcher(clock)
+        observed = []
+
+        def probe(info):
+            observed.append(info.address)
+            return False
+
+        dispatcher.register(lambda info: True)  # terminal claimant
+        assert dispatcher.register(probe) is probe
+        assert dispatcher.register(probe) is probe
+        dispatcher.deliver(SegvInfo(0x1000, AccessKind.READ))
+        # A duplicated registration would have run the probe twice.
+        assert observed == [0x1000]
+        # And a single unregister removes the handler completely.
+        dispatcher.unregister(probe)
+        dispatcher.deliver(SegvInfo(0x2000, AccessKind.READ))
+        assert observed == [0x1000]
+
     def test_segv_info_fields(self):
         info = SegvInfo(0xABC, AccessKind.WRITE)
         assert info.address == 0xABC
