@@ -14,9 +14,19 @@ simulating the full quick figure sweep (59 specs) — and writes
   on the pre-PR engine) rather than raw seconds;
 * **throughput counters**: one instrumented run's faults/s,
   block-transitions/s and host-seconds-per-virtual-second from
-  :meth:`repro.sim.tracing.TimeAccounting.throughput`.
+  :meth:`repro.sim.tracing.TimeAccounting.throughput`;
+* **kernel-numerics counters**: the deferred-engine view of one
+  launch-heavy run (pns at quick size) — ``kernel_rounds_per_host_s``
+  (launches whose numerics executed, per host second) and
+  ``batched_fraction`` (the share that executed through a
+  ``batched_fn`` — see DESIGN.md §9);
+* **retry-once gate**: a regressed comparison re-measures once before
+  failing, cutting machine-variance flakes on shared CI runners.
 
 Run directly (``python benchmarks/bench_hotpath.py``) or via pytest.
+``--profile PATH`` instead runs one in-process sweep under cProfile and
+writes the top-25 functions by internal time — the artifact CI uploads
+so future PRs can see where the hot path moved.
 """
 
 import json
@@ -76,11 +86,31 @@ throughput = (
     accounting.throughput() if hasattr(accounting, "throughput") else None
 )
 
+from repro.util.units import MB
+from repro.workloads.parboil import PARBOIL
+
+pns = PARBOIL["pns"](n_places=(1 * MB) // 4, iterations=48, sample_interval=8)
+start = time.perf_counter()
+pns_result = pns.execute(mode="gmac", protocol="rolling")
+pns_host_s = time.perf_counter() - start
+gpu = pns_result.extra["machine"].gpu
+# Engines predating the deferred-numerics counters omit the block too.
+kernel_numerics = None
+if hasattr(gpu, "numerics_rounds") and gpu.numerics_rounds:
+    kernel_numerics = {
+        "kernel_rounds_per_host_s": gpu.numerics_rounds / pns_host_s,
+        "batched_fraction": gpu.batched_rounds / gpu.numerics_rounds,
+        "numerics_rounds": gpu.numerics_rounds,
+        "batched_rounds": gpu.batched_rounds,
+        "numerics_flushes": gpu.numerics_flushes,
+    }
+
 print(json.dumps({
     "calibration_s": calibration_s,
     "sweep_s": sweep_s,
     "spec_count": len(specs),
     "throughput": throughput,
+    "kernel_numerics": kernel_numerics,
 }))
 """
 
@@ -99,8 +129,8 @@ def run_cold_sweep(repo_root=ROOT):
     return json.loads(proc.stdout.strip().splitlines()[-1])
 
 
-def run_benchmark(runs=DEFAULT_RUNS, output_path=OUTPUT_PATH):
-    """Run the cold sweeps, compare against the baseline, write the JSON."""
+def _measure(runs):
+    """One measurement round: ``runs`` cold sweeps compared to baseline."""
     samples = [run_cold_sweep() for _ in range(runs)]
     sweep_s = [s["sweep_s"] for s in samples]
     calibration_s = [s["calibration_s"] for s in samples]
@@ -110,7 +140,7 @@ def run_benchmark(runs=DEFAULT_RUNS, output_path=OUTPUT_PATH):
 
     baseline = json.loads(BASELINE_PATH.read_text())
     base_normalized = baseline["normalized"]
-    report = {
+    return {
         "spec_count": samples[0]["spec_count"],
         "runs": runs,
         "sweep_s": sweep_s,
@@ -122,9 +152,54 @@ def run_benchmark(runs=DEFAULT_RUNS, output_path=OUTPUT_PATH):
         "regression_limit": REGRESSION_LIMIT,
         "regressed": normalized > base_normalized * REGRESSION_LIMIT,
         "throughput": samples[-1]["throughput"],
+        "kernel_numerics": samples[-1].get("kernel_numerics"),
     }
+
+
+def run_benchmark(runs=DEFAULT_RUNS, output_path=OUTPUT_PATH, retries=1):
+    """Run the cold sweeps, compare against the baseline, write the JSON.
+
+    A regressed comparison is re-measured up to ``retries`` times before
+    it stands: one noisy neighbour on a shared runner should not fail
+    the gate when a fresh round lands back inside the limit.
+    """
+    report = _measure(runs)
+    attempts = 1
+    while report["regressed"] and attempts <= retries:
+        attempts += 1
+        report = _measure(runs)
+    report["attempts"] = attempts
     output_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report
+
+
+def write_profile(path, top=25):
+    """cProfile one in-process quick sweep; write the ``top`` hot functions.
+
+    Complements the regression gate: the gate says *whether* the hot
+    path moved, the uploaded profile says *where to*.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.experiments.executor import expand
+
+    specs = expand(["fig7", "fig8", "fig9", "fig10", "fig11", "fig12"],
+                   quick=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for spec in specs:
+        spec.execute()
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("tottime").print_stats(top)
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(buffer.getvalue())
+    return path
 
 
 def test_hotpath_cold_sweep_vs_baseline():
@@ -138,7 +213,15 @@ def test_hotpath_cold_sweep_vs_baseline():
     )
 
 
-def main():
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "--profile":
+        if len(argv) != 2:
+            print("usage: bench_hotpath.py [--profile PATH]", file=sys.stderr)
+            return 2
+        written = write_profile(argv[1])
+        print(f"wrote cProfile top-25 to {written}")
+        return 0
     report = run_benchmark()
     print(json.dumps(report, indent=2, sort_keys=True))
     if report["regressed"]:

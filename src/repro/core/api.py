@@ -174,7 +174,16 @@ class Gmac:
         return completion
 
     def sync(self):
-        """adsmSync: wait for the accelerator and re-acquire objects."""
+        """adsmSync: wait for the accelerator and re-acquire objects.
+
+        Re-acquisition is a *protection/state* action: batch-update
+        fetches whole objects here (a device-byte read, which flushes any
+        deferred kernel numerics), while lazy/rolling merely invalidate
+        mappings and defer the fetch to the first host fault.  The sync
+        wait itself observes only completions — virtual time — so with
+        lazy/rolling a call/sync loop accumulates a batchable queue of
+        kernel numerics (see DESIGN.md §9).
+        """
         with self.accounting.measure(Category.SYNC, label="adsmSync"):
             self.machine.clock.advance(self.costs.api_call_s)
             wait_start = self.machine.clock.now

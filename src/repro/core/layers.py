@@ -94,4 +94,19 @@ class AcceleratorLayer:
             return self.driver.launch(kernel, args, earliest=earliest)
 
     def synchronize(self):
+        """Drain the GPU/link timelines (virtual time only).
+
+        Deferred kernel numerics survive a synchronize — adsmSync observes
+        completions, not device bytes.  They replay on the next byte
+        access (a coherence fetch, a DMA, a memset, or a kernel view).
+        """
         return self.driver.synchronize()
+
+    def materialize_numerics(self):
+        """Force pending deferred kernel numerics to execute now.
+
+        Recovery uses this to pin down device bytes at a known point;
+        normal coherence traffic never needs it (every byte observer
+        flushes through the device memory's observation barrier).
+        """
+        self.driver.gpu.materialize()

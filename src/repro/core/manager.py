@@ -315,7 +315,14 @@ class Manager:
         return self.fetch_index(block.region, block.index)
 
     def fetch_index(self, region, index):
-        """Fetch one block by (region, index) — no façade materialized."""
+        """Fetch one block by (region, index) — no façade materialized.
+
+        This is the coherence-side materialization barrier for deferred
+        kernel numerics: the D2H copy reads device bytes, so the device
+        memory's observation hook replays any queued kernels first.  A
+        host fault that lands here therefore always sees post-kernel data,
+        exactly as with the old eager engine.
+        """
         table = region.table
         host_start = table.start_of(index)
         size = table.end_of(index) - host_start

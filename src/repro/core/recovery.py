@@ -243,6 +243,12 @@ class RecoveryPolicy:
         gmac = self.gmac
         manager = gmac.manager
         start = self._clock.now
+        # Pin down device bytes first: numerics launched before the loss
+        # replay against the dying memory image (in the eager engine they
+        # had already run), so recovery is engine-mode independent.
+        # ``Gpu.reset`` would do this implicitly; being explicit keeps the
+        # recovery sequence readable.
+        gmac.layer.materialize_numerics()
         driver = gmac.layer.driver
         driver.revive()
         self._backoff(self.device_reset_s, label="device-reset")

@@ -313,13 +313,15 @@ class DriverContext:
 
         Launching on a dead context raises :class:`DeviceLostError`; an
         injected transient rejection raises :class:`LaunchError` *before*
-        the kernel has any effect on device memory.
+        the kernel has any effect on device memory — in particular before
+        the numerics are enqueued, so a rejected launch never reaches the
+        deferred queue.
         """
         self._driver_call()
         self._check_alive()
         self._maybe_fail_launch(kernel)
         duration = kernel.duration_on(self.gpu, args)
-        kernel.execute(self.gpu, args)
+        self.gpu.enqueue_numerics(kernel, args)
         dependency = earliest
         if stream is not None and stream.earliest_next is not None:
             dependency = max(

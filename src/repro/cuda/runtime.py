@@ -113,7 +113,13 @@ class CudaRuntime:
         return completion
 
     def cuda_thread_synchronize(self):
-        """Wait for all outstanding work, charging the wait to GPU time."""
+        """Wait for all outstanding work, charging the wait to GPU time.
+
+        This observes virtual time only (kernel completions): deferred
+        kernel *numerics* stay queued across it, and are replayed by the
+        first device-byte access — typically the ``cudaMemcpy`` D2H the
+        application issues next.
+        """
         self._ensure_initialized()
         self._call_overhead()
         wait_start = self.machine.clock.now
@@ -122,3 +128,8 @@ class CudaRuntime:
         self.accounting.charge(Category.GPU, waited, label="sync-wait")
         self._pending_kernels.clear()
         return waited
+
+    @property
+    def pending_numerics(self):
+        """Launches whose deferred numerics have not yet executed."""
+        return self.driver.gpu.pending_numerics

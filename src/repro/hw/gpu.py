@@ -10,24 +10,67 @@ relies on.
 Asymmetry (the core ADSM premise) is enforced here: kernels receive numpy
 views of *device* memory only; there is no path from device code to host
 mappings.
+
+**Deferred kernel numerics.**  Virtual time is charged per launch (in
+:meth:`launch`, exactly as before), but the numpy evaluation of a kernel is
+queued by :meth:`enqueue_numerics` and only replayed when something
+observes device-memory *bytes* — the :class:`~repro.hw.memory.DeviceMemory`
+``on_observe`` hook fires :meth:`materialize`.  Consecutive queued launches
+of one kernel whose only differing arguments are in its ``batch_by`` set
+are evaluated in a single ``batched_fn`` pass.  Because kernel functions
+are pure functions of device bytes (they never touch the clock), deferral
+cannot change any figure, trace, or chaos outcome; it only changes *when*
+the host-side numpy work happens.  See DESIGN.md §9.
 """
+
+import os
 
 from repro.sim.resource import Resource
 from repro.hw.memory import DeviceMemory
+
+#: Process-wide default for deferral; ``REPRO_EAGER_KERNELS=1`` restores
+#: the pre-deferral eager engine (used by the equivalence golden suite).
+DEFAULT_DEFER_NUMERICS = os.environ.get("REPRO_EAGER_KERNELS", "0") != "1"
 
 
 class Gpu:
     """An accelerator: device memory + serialized execution engine."""
 
-    def __init__(self, spec, clock, memory_base=None, trace=False):
+    def __init__(self, spec, clock, memory_base=None, trace=False,
+                 defer_numerics=None):
         self.spec = spec
         self.clock = clock
         if memory_base is None:
-            self.memory = DeviceMemory(spec.memory_bytes)
+            memory = DeviceMemory(spec.memory_bytes)
         else:
-            self.memory = DeviceMemory(spec.memory_bytes, base=memory_base)
+            memory = DeviceMemory(spec.memory_bytes, base=memory_base)
+        self._attach_memory(memory)
         self.engine = Resource(f"{spec.name} engine", clock, trace=trace)
         self.kernels_launched = 0
+        if defer_numerics is None:
+            defer_numerics = DEFAULT_DEFER_NUMERICS
+        self.defer_numerics = defer_numerics
+        #: Pending (kernel, args) numerics in launch order.
+        self._queue = []
+        #: True while replaying the queue (or running an eager kernel), so
+        #: the kernel's own device views do not recursively re-materialize.
+        self._replaying = False
+        #: Throughput counters (see bench_hotpath's kernel_numerics block):
+        #: launches whose numerics have executed, the subset that executed
+        #: through a ``batched_fn``, and the number of materialization
+        #: flush events.
+        self.numerics_rounds = 0
+        self.batched_rounds = 0
+        self.numerics_flushes = 0
+
+    def _attach_memory(self, memory):
+        """Install ``memory`` and wire its observation barrier to us."""
+        memory.on_observe = self._memory_observed
+        self.memory = memory
+
+    def _memory_observed(self):
+        if not self._replaying:
+            self.materialize()
 
     def reset(self):
         """Device reset after a device-lost event.
@@ -36,9 +79,67 @@ class Gpu:
         (driver/recovery machinery) is responsible for replaying the
         allocations and re-materialising data from host-canonical state.
         The execution timeline survives — a reset does not rewrite history.
+
+        Numerics queued before the loss replay against the *old* memory
+        first: in the eager engine they had already executed at launch
+        time, and recovery's host-canonical snapshot must not depend on
+        the engine mode.
         """
-        self.memory = DeviceMemory(self.spec.memory_bytes,
-                                   base=self.memory.base)
+        self.materialize()
+        self._attach_memory(
+            DeviceMemory(self.spec.memory_bytes, base=self.memory.base)
+        )
+
+    # -- numerics -----------------------------------------------------------
+
+    @property
+    def pending_numerics(self):
+        """Number of launches whose numerics have not yet executed."""
+        return len(self._queue)
+
+    def enqueue_numerics(self, kernel, args):
+        """Queue (or, in eager mode, run) one launch's numpy evaluation."""
+        if self.defer_numerics:
+            self._queue.append((kernel, args))
+            return
+        self._replaying = True
+        try:
+            kernel.execute(self, args)
+        finally:
+            self._replaying = False
+        self.numerics_rounds += 1
+
+    def materialize(self):
+        """Replay all pending numerics, batching compatible runs."""
+        if not self._queue:
+            return
+        queue, self._queue = self._queue, []
+        self.numerics_flushes += 1
+        self._replaying = True
+        try:
+            index, count = 0, len(queue)
+            while index < count:
+                kernel, args = queue[index]
+                upto = index + 1
+                if kernel.batched_fn is not None:
+                    while (
+                        upto < count
+                        and queue[upto][0] is kernel
+                        and kernel.batch_compatible(args, queue[upto][1])
+                    ):
+                        upto += 1
+                    kernel.execute_batch(
+                        self, [entry[1] for entry in queue[index:upto]]
+                    )
+                    self.batched_rounds += upto - index
+                else:
+                    kernel.execute(self, args)
+                self.numerics_rounds += upto - index
+                index = upto
+        finally:
+            self._replaying = False
+
+    # -- timing -------------------------------------------------------------
 
     def launch(self, duration, label="kernel", earliest=None):
         """Schedule kernel execution time; returns a Completion."""
@@ -52,7 +153,14 @@ class Gpu:
         return self.spec.kernel_seconds(work_units, bytes_touched)
 
     def synchronize(self):
-        """Block the host until all launched kernels have finished."""
+        """Block the host until all launched kernels have finished.
+
+        Synchronization observes *completions* (virtual time), never device
+        bytes, so it deliberately does **not** materialize pending
+        numerics — that is what lets back-to-back launch/sync loops (pns)
+        accumulate batchable queues.  Any actual byte access after the
+        sync still flushes via the memory observation barrier.
+        """
         return self.engine.drain()
 
     def view(self, address, dtype, count):

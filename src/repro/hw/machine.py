@@ -35,6 +35,7 @@ class Machine:
         gpu_count=1,
         integrated=False,
         trace=False,
+        defer_numerics=None,
     ):
         self.clock = SimClock()
         self.trace = TraceLog() if trace else None
@@ -52,7 +53,8 @@ class Machine:
             # Multiple GPUs get overlapping device address ranges, exactly
             # the collision hazard Section 4.2 describes; adsmSafeAlloc is
             # the software fallback exercised against gpu_count > 1.
-            self.gpus.append(Gpu(gpu_spec, self.clock, trace=trace))
+            self.gpus.append(Gpu(gpu_spec, self.clock, trace=trace,
+                                 defer_numerics=defer_numerics))
         if not self.gpus:
             raise ValueError("a heterogeneous machine needs at least one GPU")
 
@@ -79,9 +81,10 @@ class Machine:
         self.link.reset_counters()
 
 
-def reference_system(trace=False, gpu_count=1):
+def reference_system(trace=False, gpu_count=1, defer_numerics=None):
     """The Figure 1 reference architecture (the Section 5 testbed)."""
-    return Machine(trace=trace, gpu_count=gpu_count)
+    return Machine(trace=trace, gpu_count=gpu_count,
+                   defer_numerics=defer_numerics)
 
 
 def integrated_system(trace=False):

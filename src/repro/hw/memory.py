@@ -40,6 +40,16 @@ class DeviceMemory:
     #: GMAC mmap host memory at the exact device address (Section 4.2).
     DEFAULT_ALIGNMENT = 4096
 
+    #: Observation hook: called (no arguments) before any byte-level access
+    #: — ``read``/``write``/``fill``/``view`` — and before ``free`` drops an
+    #: allocation's buffer.  The owning :class:`~repro.hw.gpu.Gpu` installs
+    #: its numerics-materialization barrier here, so *every* path that can
+    #: observe device bytes (driver copies, peer DMA, coherence fetches,
+    #: kernel views, direct test access) flushes deferred kernels first.
+    #: Allocator metadata operations (``alloc``/``alloc_at``) observe no
+    #: bytes and do not fire the hook.
+    on_observe = None
+
     def __init__(self, capacity, base=DEVICE_BASE, alignment=DEFAULT_ALIGNMENT):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -114,6 +124,10 @@ class DeviceMemory:
 
     def free(self, address):
         """Release an allocation, coalescing with free neighbours."""
+        if self.on_observe is not None:
+            # A deferred kernel may still have to write this allocation;
+            # its bytes become unobservable once the buffer is dropped.
+            self.on_observe()
         allocation = self._allocations.pop(address, None)
         if allocation is None:
             raise AllocationError(f"free of unallocated device address {address:#x}")
@@ -181,22 +195,30 @@ class DeviceMemory:
 
     def read(self, address, size):
         """Copy ``size`` bytes out of device memory."""
+        if self.on_observe is not None:
+            self.on_observe()
         buffer, offset = self._locate(address, size)
         return bytes(buffer[offset:offset + size])
 
     def write(self, address, data):
         """Copy a bytes-like buffer into device memory (source not copied)."""
+        if self.on_observe is not None:
+            self.on_observe()
         data = as_byte_array(data)
         buffer, offset = self._locate(address, len(data))
         buffer[offset:offset + len(data)] = data
 
     def fill(self, address, value, size):
         """memset-style fill."""
+        if self.on_observe is not None:
+            self.on_observe()
         buffer, offset = self._locate(address, size)
         buffer[offset:offset + size] = value & 0xFF
 
     def view(self, address, dtype, count):
         """A writable numpy view into device memory (what kernels use)."""
+        if self.on_observe is not None:
+            self.on_observe()
         dtype = np.dtype(dtype)
         size = dtype.itemsize * count
         buffer, offset = self._locate(address, size)

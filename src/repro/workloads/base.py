@@ -74,6 +74,70 @@ def memoized_input(key, builder):
     return cached
 
 
+def _fingerprint(array):
+    """Cheap mismatch filter: shape, dtype, and ~16 strided sample bytes.
+
+    Unequal fingerprints prove the arrays differ; equal fingerprints only
+    admit the candidate to the full byte compare, so the filter cannot
+    produce a false hit.
+    """
+    step = max(1, array.size // 16)
+    return (array.shape, array.dtype.str, array.ravel()[::step].tobytes())
+
+
+class ValueMemo:
+    """Byte-exact reuse of pure kernel evaluations.
+
+    A figure sweep evaluates the same kernel numerics dozens of times —
+    cuda vs gmac, per protocol, per block size — over identical device
+    bytes.  A hit here requires *every* input array to compare bit-equal
+    (``np.array_equal``, a memcmp) against a stored evaluation's inputs,
+    so reuse can never change an output byte: it only skips recomputing a
+    result already produced for the very same input bytes.  Inputs are
+    snapshotted at store time and outputs handed out read-only.
+
+    ``max_entries`` bounds the evaluations remembered per key (iterative
+    kernels store one entry per distinct input state); entries whose
+    arrays exceed ``max_entry_bytes`` are computed but never stored, so
+    full-size experiment sweeps cannot balloon host memory — they simply
+    fall back to recomputing, exactly as before.
+    """
+
+    def __init__(self, max_entries=8, max_entry_bytes=4 << 20):
+        self.max_entries = max_entries
+        self.max_entry_bytes = max_entry_bytes
+        self._entries = {}
+
+    def lookup(self, key, inputs):
+        entries = self._entries.get(key)
+        if not entries:
+            return None
+        prints = tuple(_fingerprint(array) for array in inputs)
+        for stored_prints, stored, outputs in entries:
+            if stored_prints != prints:
+                continue
+            if all(
+                np.array_equal(given, kept)
+                for given, kept in zip(inputs, stored)
+            ):
+                return outputs
+        return None
+
+    def store(self, key, inputs, outputs):
+        for array in outputs:
+            array.setflags(write=False)
+        footprint = sum(array.nbytes for array in inputs)
+        footprint += sum(array.nbytes for array in outputs)
+        if footprint <= self.max_entry_bytes:
+            entries = self._entries.setdefault(key, [])
+            if len(entries) >= self.max_entries:
+                entries.pop(0)
+            snapshot = tuple(np.array(array, copy=True) for array in inputs)
+            prints = tuple(_fingerprint(array) for array in snapshot)
+            entries.append((prints, snapshot, outputs))
+        return outputs
+
+
 class Application:
     """Process + filesystem + libc: the environment one run executes in."""
 

@@ -13,14 +13,35 @@ dumped once — is what Figures 7/8/10 depend on).
 import numpy as np
 
 from repro.cuda.kernels import Kernel
-from repro.workloads.base import Workload, memoized_input
+from repro.workloads.base import Workload, ValueMemo, memoized_input
 
 CPU_STREAM_RATE = 2.0e9
 
 
+#: Memoized read-only coordinate planes: every evaluation of one grid
+#: configuration rebuilds the identical mgrid, so cache it (marked
+#: read-only against accidental in-place use).
+_PLANE_CACHE = {}
+
+
+def _plane_coords(grid_n, spacing):
+    key = (grid_n, float(spacing))
+    cached = _PLANE_CACHE.get(key)
+    if cached is None:
+        ys, xs = (
+            np.mgrid[0:grid_n, 0:grid_n].astype(np.float32)
+            * np.float32(spacing)
+        )
+        xs.setflags(write=False)
+        ys.setflags(write=False)
+        cached = (ys, xs)
+        _PLANE_CACHE[key] = cached
+    return cached
+
+
 def coulomb_reference(atoms, grid_n, spacing):
     """Potential of ``atoms`` (x, y, z, q rows) over the z=0 plane."""
-    ys, xs = np.mgrid[0:grid_n, 0:grid_n].astype(np.float32) * np.float32(spacing)
+    ys, xs = _plane_coords(grid_n, spacing)
     potential = np.zeros((grid_n, grid_n), dtype=np.float32)
     for x, y, z, q in atoms:
         distance = np.sqrt((xs - x) ** 2 + (ys - y) ** 2 + z * z)
@@ -28,10 +49,26 @@ def coulomb_reference(atoms, grid_n, spacing):
     return potential
 
 
+_POTENTIAL_MEMO = ValueMemo()
+
+
 def _cp_fn(gpu, atoms, grid, n_atoms, grid_n, spacing):
     atom_rows = gpu.view(atoms, "f4", 4 * n_atoms).reshape(n_atoms, 4)
     plane = gpu.view(grid, "f4", grid_n * grid_n).reshape(grid_n, grid_n)
-    plane[:] = coulomb_reference(atom_rows, grid_n, spacing)
+    key = (n_atoms, grid_n, float(spacing))
+    cached = _POTENTIAL_MEMO.lookup(key, (atom_rows,))
+    if cached is None:
+        cached = _POTENTIAL_MEMO.store(
+            key, (atom_rows,),
+            (coulomb_reference(atom_rows, grid_n, spacing),),
+        )
+    plane[:] = cached[0]
+
+
+def _cp_batched(gpu, launches):
+    """Per-launch replay (cp launches once per run; batches are length 1)."""
+    for args in launches:
+        _cp_fn(gpu, **args)
 
 
 #: ~40 flops per (grid point, atom) pair (distance, rsqrt, accumulate).
@@ -43,6 +80,7 @@ CP_KERNEL = Kernel(
         4 * grid_n * grid_n,
     ),
     writes=("grid",),
+    batched_fn=_cp_batched,
 )
 
 

@@ -11,8 +11,9 @@ levels of I/O read activities" that would benefit from peer DMA.
 import numpy as np
 
 from repro.cuda.kernels import Kernel
-from repro.workloads.base import Workload, memoized_input
+from repro.workloads.base import Workload, ValueMemo, memoized_input
 from repro.workloads.parboil.mri_common import (
+    KERNEL_SCRATCH,
     fhd_reference,
     make_samples,
     make_voxels,
@@ -20,13 +21,29 @@ from repro.workloads.parboil.mri_common import (
 
 CPU_STREAM_RATE = 2.0e9
 
+_FHD_MEMO = ValueMemo()
+
 
 def _fhd_fn(gpu, samples, voxels, r_out, i_out, n_samples, n_voxels):
     rows = gpu.view(samples, "f4", 5 * n_samples).reshape(n_samples, 5)
     coords = gpu.view(voxels, "f4", 3 * n_voxels).reshape(n_voxels, 3)
-    r_fhd, i_fhd = fhd_reference(rows[:, :3], rows[:, 3], rows[:, 4], coords)
+    inputs = (rows, coords)
+    cached = _FHD_MEMO.lookup((n_samples, n_voxels), inputs)
+    if cached is None:
+        cached = _FHD_MEMO.store(
+            (n_samples, n_voxels), inputs,
+            fhd_reference(rows[:, :3], rows[:, 3], rows[:, 4], coords,
+                          scratch=KERNEL_SCRATCH),
+        )
+    r_fhd, i_fhd = cached
     gpu.view(r_out, "f4", n_voxels)[:] = r_fhd
     gpu.view(i_out, "f4", n_voxels)[:] = i_fhd
+
+
+def _fhd_batched(gpu, launches):
+    """Per-launch replay through the shared phase-grid scratch."""
+    for args in launches:
+        _fhd_fn(gpu, **args)
 
 
 #: ~14 flops per (sample, voxel) pair (dot product, sincos, 4 MACs).
@@ -38,6 +55,7 @@ FHD_KERNEL = Kernel(
         20 * n_samples + 8 * n_voxels,
     ),
     writes=("r_out", "i_out"),
+    batched_fn=_fhd_batched,
 )
 
 

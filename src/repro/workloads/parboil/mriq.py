@@ -11,20 +11,45 @@ rolling-update avoids some unnecessary data transfers").
 import numpy as np
 
 from repro.cuda.kernels import Kernel
-from repro.workloads.base import Workload, memoized_input
-from repro.workloads.parboil.mri_common import q_reference, make_voxels
+from repro.workloads.base import Workload, ValueMemo, memoized_input
+from repro.workloads.parboil.mri_common import (
+    KERNEL_SCRATCH,
+    q_reference,
+    make_voxels,
+)
 
 CPU_STREAM_RATE = 2.0e9
+
+_Q_MEMO = ValueMemo()
 
 
 def _q_fn(gpu, k_coords, phi_mag, voxels, q_out, n_samples, n_voxels):
     coords_k = gpu.view(k_coords, "f4", 3 * n_samples).reshape(n_samples, 3)
     magnitude = gpu.view(phi_mag, "f4", n_samples)
     coords_v = gpu.view(voxels, "f4", 3 * n_voxels).reshape(n_voxels, 3)
-    r_q, i_q = q_reference(coords_k, magnitude, coords_v)
+    inputs = (coords_k, magnitude, coords_v)
+    cached = _Q_MEMO.lookup((n_samples, n_voxels), inputs)
+    if cached is None:
+        cached = _Q_MEMO.store(
+            (n_samples, n_voxels), inputs,
+            q_reference(coords_k, magnitude, coords_v,
+                        scratch=KERNEL_SCRATCH),
+        )
+    r_q, i_q = cached
     out = gpu.view(q_out, "f4", 2 * n_voxels)
     out[:n_voxels] = r_q
     out[n_voxels:] = i_q
+
+
+def _q_batched(gpu, launches):
+    """Per-launch replay (Q is a one-shot kernel; batches are length 1).
+
+    The batched form still pays off: it routes every deferred evaluation
+    through the shared phase-grid scratch, and identical back-to-back
+    launches keep the single-pass semantics of replaying each in order.
+    """
+    for args in launches:
+        _q_fn(gpu, **args)
 
 
 #: ~12 flops per (sample, voxel) pair.
@@ -36,6 +61,7 @@ Q_KERNEL = Kernel(
         16 * n_samples + 8 * n_voxels,
     ),
     writes=("q_out",),
+    batched_fn=_q_batched,
 )
 
 

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.util.units import MB
 from repro.cuda.kernels import Kernel
-from repro.workloads.base import Workload, memoized_input
+from repro.workloads.base import Workload, ValueMemo, memoized_input
 
 CPU_STREAM_RATE = 4.0e9
 
@@ -24,18 +24,25 @@ FIRE_INCREMENT = np.int32(12345)
 TOKEN_LIMIT = np.int32(255)
 
 
-def fire_step(places, transition_seed):
+def fire_step(places, transition_seed, out=None, scratch=None):
     """One synchronous firing round over the marking vector.
 
     In-place update chain: int32 addition wraps mod 2^32 and is
     associative, so folding the scalar terms and reusing one buffer gives
     bit-identical markings to the naive expression with fewer temporaries
     (this runs once per simulated round on every place).
+
+    ``out`` (the result buffer) and ``scratch`` (the rotation buffer) let
+    hot callers reuse allocations across rounds; neither may alias
+    ``places``.  Results are bit-identical with or without them.
     """
-    rotated = np.empty_like(places)
+    rotated = np.empty_like(places) if scratch is None else scratch
     rotated[0] = places[-1]
     rotated[1:] = places[:-1]
-    mixed = places * FIRE_MULTIPLIER
+    if out is None:
+        mixed = places * FIRE_MULTIPLIER
+    else:
+        mixed = np.multiply(places, FIRE_MULTIPLIER, out=out)
     mixed += rotated
     mixed += FIRE_INCREMENT + transition_seed
     mixed &= 0x7FFFFFFF
@@ -44,17 +51,85 @@ def fire_step(places, transition_seed):
     return mixed
 
 
+#: Reusable firing-round buffers keyed by marking length: two result
+#: buffers (ping-pong across a batched sweep) plus the rotation scratch.
+_FIRE_SCRATCH = {}
+
+
+def _fire_buffers(n_places):
+    buffers = _FIRE_SCRATCH.get(n_places)
+    if buffers is None:
+        buffers = tuple(
+            np.empty(n_places, dtype=np.int32) for _ in range(3)
+        )
+        _FIRE_SCRATCH[n_places] = buffers
+    return buffers
+
+
+def _write_stats(counters, marking, iteration):
+    counters[0] = np.int32(iteration + 1)
+    counters[1] = np.int32(int(marking[:256].sum()) & 0x7FFFFFFF)
+    counters[2] = np.int32(int(marking.max()))
+
+
 def _pns_fn(gpu, places, transitions, stats, n_places, iteration):
     marking = gpu.view(places, "i4", n_places)
     weights = gpu.view(transitions, "i4", n_places)
     # The transition structure enters the firing rule through a per-round
     # seed; the cost model charges the full streaming traffic.
     seed = np.int32(int(weights[iteration % 1024]) & 0xFFFF)
-    marking[:] = fire_step(marking, seed)
-    counters = gpu.view(stats, "i4", 16)
-    counters[0] = np.int32(iteration + 1)
-    counters[1] = np.int32(int(marking[:256].sum()) & 0x7FFFFFFF)
-    counters[2] = np.int32(int(marking.max()))
+    out, _, scratch = _fire_buffers(n_places)
+    marking[:] = fire_step(marking, seed, out=out, scratch=scratch)
+    _write_stats(gpu.view(stats, "i4", 16), marking, iteration)
+
+
+#: Byte-exact reuse of whole batched sweeps: figure sweeps run the same
+#: marking trajectory once per mode/protocol/figure, so each (input
+#: marking, seed vector) recurs many times.  Keyed by sweep length so the
+#: flush-per-iteration protocols (length-1 sweeps) cannot churn the
+#: entries of the deep-queue ones.
+_SWEEP_MEMO = ValueMemo(max_entries=12)
+
+
+def _pns_batched(gpu, launches):
+    """K deferred firing rounds in one sweep.
+
+    Seeds for every round are gathered in one vectorized lookup (the
+    transition structure is constant across the batch — it is not in
+    ``batch_by``, and any host write to it would have flushed the queue),
+    the rounds ping-pong between two reused buffers, and only the *final*
+    marking and statistics are stored: intermediate device states are
+    unobservable between materialization barriers by construction, so the
+    resulting device bytes are identical to running ``_pns_fn`` K times
+    while skipping K-1 full-vector stat reductions and writebacks.
+    """
+    first = launches[0]
+    n_places = first["n_places"]
+    marking = gpu.view(first["places"], "i4", n_places)
+    weights = gpu.view(first["transitions"], "i4", n_places)
+    iterations = np.asarray(
+        [launch["iteration"] for launch in launches], dtype=np.int64
+    )
+    # Bit-identical to np.int32(int(w) & 0xFFFF) per round: the mask keeps
+    # every value non-negative and well inside int32.
+    seeds = weights[iterations % 1024] & np.int32(0xFFFF)
+    key = (n_places, len(launches))
+    inputs = (marking, seeds, iterations)
+    cached = _SWEEP_MEMO.lookup(key, inputs)
+    if cached is None:
+        ping, pong, scratch = _fire_buffers(n_places)
+        state = marking
+        for seed in seeds:
+            state = fire_step(state, seed, out=ping, scratch=scratch)
+            ping, pong = pong, ping
+        # Snapshot before the writeback: ``marking`` still holds the
+        # sweep's input (the rounds ping-pong through scratch buffers).
+        cached = _SWEEP_MEMO.store(key, inputs, (state.copy(),))
+    marking[:] = cached[0]
+    _write_stats(
+        gpu.view(first["stats"], "i4", 16), marking,
+        launches[-1]["iteration"],
+    )
 
 
 #: ~8 integer ops per place per round; markings stay in on-chip shared
@@ -67,6 +142,8 @@ PNS_KERNEL = Kernel(
         2 * n_places,
     ),
     writes=("places", "stats"),
+    batched_fn=_pns_batched,
+    batch_by=("iteration",),
 )
 
 

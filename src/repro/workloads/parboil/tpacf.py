@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.util.units import MB
 from repro.cuda.kernels import Kernel
-from repro.workloads.base import Workload, memoized_input
+from repro.workloads.base import Workload, ValueMemo, memoized_input
 
 CPU_STREAM_RATE = 4.0e9
 
@@ -74,9 +74,23 @@ def angular_histogram(rows):
     return histogram.astype(np.int64)
 
 
+_HISTOGRAM_MEMO = ValueMemo()
+
+
 def _tpacf_fn(gpu, points, bins, n_points):
     rows = gpu.view(points, "f4", 4 * n_points).reshape(n_points, 4)
-    gpu.view(bins, "i8", BINS)[:] = angular_histogram(rows)
+    cached = _HISTOGRAM_MEMO.lookup(n_points, (rows,))
+    if cached is None:
+        cached = _HISTOGRAM_MEMO.store(
+            n_points, (rows,), (angular_histogram(rows),)
+        )
+    gpu.view(bins, "i8", BINS)[:] = cached[0]
+
+
+def _tpacf_batched(gpu, launches):
+    """Per-launch replay (tpacf launches once per run)."""
+    for args in launches:
+        _tpacf_fn(gpu, **args)
 
 
 TPACF_KERNEL = Kernel(
@@ -87,6 +101,7 @@ TPACF_KERNEL = Kernel(
         16 * n_points,
     ),
     writes=("bins",),
+    batched_fn=_tpacf_batched,
 )
 
 
@@ -114,11 +129,29 @@ class Tpacf(Workload):
     def bins_bytes(self):
         return 8 * BINS
 
+    def _init_snapshots(self):
+        """Point rows after each initialisation pass, computed once.
+
+        The per-pass values are a pure function of the raw input, while a
+        figure sweep runs the same configuration dozens of times (Figure
+        12 sweeps rolling sizes alone); memoizing the snapshots lets every
+        run *write* the identical per-pass bytes without recomputing them
+        — the stores (and hence all protocol traffic) are unchanged.
+        """
+        def build():
+            snapshots = []
+            rows = self.raw.copy()
+            for pass_index in range(PASSES):
+                init_pass(rows, pass_index)
+                snapshots.append(rows.copy())
+            return tuple(snapshots)
+
+        return memoized_input(
+            ("tpacf-init", self.n_points, self.seed), build
+        )
+
     def _initialized_points(self):
-        rows = self.raw.copy()
-        for pass_index in range(PASSES):
-            init_pass(rows, pass_index)
-        return rows
+        return self._init_snapshots()[-1]
 
     def reference(self):
         return {self.OUTPUT: angular_histogram(self._initialized_points())}
@@ -136,11 +169,11 @@ class Tpacf(Workload):
         """
         row_bytes = 16
         rows_per_tile = TILE_BYTES // row_bytes
+        snapshots = self._init_snapshots()
         for start in range(0, self.n_points, rows_per_tile):
             stop = min(start + rows_per_tile, self.n_points)
-            tile = self.raw[start:stop].copy()
             for pass_index in range(PASSES):
-                init_pass(tile, pass_index)
+                tile = snapshots[pass_index][start:stop]
                 ptr.write_array(tile, offset=row_bytes * start)
                 app.machine.cpu.stream(
                     tile.nbytes, CPU_STREAM_RATE, label=f"pass{pass_index}"

@@ -21,7 +21,7 @@ interposition performs in block-sized chunks).
 import numpy as np
 
 from repro.cuda.kernels import Kernel
-from repro.workloads.base import Workload, memoized_input
+from repro.workloads.base import Workload, ValueMemo, memoized_input
 
 #: Stencil coefficients: centre and face weights of the 7-point operator.
 CENTER_WEIGHT = np.float32(0.4)
@@ -31,9 +31,16 @@ FACE_WEIGHT = np.float32(0.1)
 CPU_STREAM_RATE = 2.0e9
 
 
-def stencil_reference_step(volume):
-    """One 7-point stencil step (pure numpy; boundary cells pass through)."""
-    out = volume.copy()
+def stencil_reference_step(volume, out=None):
+    """One 7-point stencil step (pure numpy; boundary cells pass through).
+
+    ``out`` (which must not alias ``volume``) receives the result in
+    place, saving the full-volume copy the allocating path pays.
+    """
+    if out is None:
+        out = volume.copy()
+    else:
+        np.copyto(out, volume)
     interior = CENTER_WEIGHT * volume[1:-1, 1:-1, 1:-1] + FACE_WEIGHT * (
         volume[:-2, 1:-1, 1:-1] + volume[2:, 1:-1, 1:-1]
         + volume[1:-1, :-2, 1:-1] + volume[1:-1, 2:, 1:-1]
@@ -43,10 +50,35 @@ def stencil_reference_step(volume):
     return out
 
 
+#: Figure 9 sweeps block/volume sizes over the *same* per-step volume
+#: trajectory, so each step's input volume recurs across many specs; one
+#: entry per step state (max_entries covers a full quick run's steps).
+_STEP_MEMO = ValueMemo(max_entries=24)
+
+
 def _stencil_fn(gpu, vin, vout, n):
     volume = gpu.view(vin, "f4", n ** 3).reshape(n, n, n)
     result = gpu.view(vout, "f4", n ** 3).reshape(n, n, n)
-    result[:] = stencil_reference_step(volume)
+    cached = _STEP_MEMO.lookup(n, (volume,))
+    if cached is None:
+        # vin and vout are distinct ping-pong allocations, so the step can
+        # write the device view directly (identical bytes, one copy fewer).
+        stencil_reference_step(volume, out=result)
+        _STEP_MEMO.store(n, (volume,), (result.copy(),))
+    else:
+        np.copyto(result, cached[0])
+
+
+def _stencil_batched(gpu, launches):
+    """Replay deferred steps in order.
+
+    ``batch_by`` admits the alternating ping-pong pointers, so a run of
+    steps whose intervening source-introductions happened on already-host-
+    canonical blocks (no device fetch between launches) replays here in
+    one flush.
+    """
+    for args in launches:
+        _stencil_fn(gpu, **args)
 
 
 #: ~8 flops and two 4-byte streams per cell.
@@ -55,6 +87,8 @@ STENCIL = Kernel(
     _stencil_fn,
     cost=lambda vin, vout, n: (8 * n ** 3, 8 * n ** 3),
     writes=("vout",),
+    batched_fn=_stencil_batched,
+    batch_by=("vin", "vout"),
 )
 
 

@@ -1,0 +1,127 @@
+"""Fault ordering under the deferred-numerics engine.
+
+Injected launch rejections and device losses must keep firing at
+*enqueue* (launch) time — the instant `driver.launch` charges virtual
+time — even though the numpy evaluation now waits in the GPU's numerics
+queue.  A rejected launch must never reach the queue, and a device loss
+must replay the queued work against the dying memory image before the
+reset wipes it, so recovery observes exactly what an eager engine
+would have left behind.
+"""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import DeviceLostError, LaunchError
+from repro.util.units import KB
+from repro.faults import FaultPlan
+from repro.hw.machine import reference_system
+from repro.cuda.driver import DriverContext
+from repro.cuda.kernels import Kernel
+from repro.workloads.base import Application
+
+PROTOCOLS = ("batch", "lazy", "rolling")
+
+N = KB // 4
+
+
+def _bump_fn(gpu, data, n, step):
+    gpu.view(data, "f4", n)[:] += np.float32(1.0)
+
+
+def _bump_batched(gpu, launches):
+    first = launches[0]
+    view = gpu.view(first["data"], "f4", first["n"])
+    view += np.float32(len(launches))
+
+
+#: Batchable no-input kernel: K deferred launches collapse to one += K.
+BUMP = Kernel(
+    "bump", _bump_fn,
+    cost=lambda data, n, step: (n, 8 * n),
+    writes=("data",),
+    batched_fn=_bump_batched,
+    batch_by=("step",),
+)
+
+
+class TestRejectionAtEnqueue:
+    """Transient launch rejections: raised at launch, queue untouched."""
+
+    def _queued_context(self, app):
+        ctx = DriverContext(app.machine, app.process)
+        dev = ctx.mem_alloc(KB)
+        ctx.gpu.memory.view(dev, "f4", N)[:] = np.float32(1.0)
+        for step in range(3):
+            ctx.launch(BUMP, {"data": dev, "n": N, "step": step})
+        assert ctx.gpu.pending_numerics == 3
+        return ctx, dev
+
+    def test_rejection_raised_at_launch_time_not_at_flush(self, app):
+        ctx, dev = self._queued_context(app)
+        app.machine.install_faults(FaultPlan(launch_fault_rate=1.0))
+        before = app.machine.clock.now
+        with pytest.raises(LaunchError) as excinfo:
+            ctx.launch(BUMP, {"data": dev, "n": N, "step": 3})
+        assert excinfo.value.timestamp >= before
+        assert excinfo.value.timestamp == app.machine.clock.now
+
+    def test_rejected_launch_never_reaches_the_queue(self, app):
+        ctx, dev = self._queued_context(app)
+        app.machine.install_faults(FaultPlan(launch_fault_rate=1.0))
+        with pytest.raises(LaunchError):
+            ctx.launch(BUMP, {"data": dev, "n": N, "step": 3})
+        # The three earlier launches are still queued; the rejected one
+        # added nothing, so materialising yields exactly +3.
+        assert ctx.gpu.pending_numerics == 3
+        values = ctx.gpu.memory.view(dev, "f4", N)  # barrier: flushes
+        assert ctx.gpu.pending_numerics == 0
+        assert np.all(values == np.float32(4.0))
+
+    def test_device_loss_fires_at_launch_queue_intact_until_revive(self, app):
+        ctx, dev = self._queued_context(app)
+        app.machine.install_faults(FaultPlan(device_lost_at_launch=1))
+        with pytest.raises(DeviceLostError):
+            ctx.launch(BUMP, {"data": dev, "n": N, "step": 3})
+        assert not ctx.alive
+        # The loss fired at launch time: the failed launch enqueued
+        # nothing, and the earlier queue is still pending.
+        assert ctx.gpu.pending_numerics == 3
+        # revive() resets the device: the queue is replayed against the
+        # dying memory image first, then a fresh (zeroed) memory appears.
+        ctx.revive()
+        assert ctx.gpu.pending_numerics == 0
+        ctx.restore_allocation(dev, KB)
+        assert np.all(ctx.gpu.memory.view(dev, "f4", N) == np.float32(0.0))
+
+
+class TestDeferredRecoveryPerProtocol:
+    """Device loss mid-queue recovers to the eager engine's bytes."""
+
+    def _run(self, protocol, defer):
+        machine = reference_system(defer_numerics=defer)
+        plan = FaultPlan(device_lost_at_launch=4)
+        machine.install_faults(plan)
+        app = Application(machine)
+        gmac = app.gmac(protocol=protocol, layer="driver")
+        ptr = gmac.alloc(KB, name="data")
+        ptr.write_array(np.full(N, 2.0, dtype=np.float32))
+        peak_queue = 0
+        for step in range(6):
+            gmac.call(BUMP, data=ptr, n=N, step=step)
+            peak_queue = max(peak_queue, machine.gpu.pending_numerics)
+        gmac.sync()
+        values = ptr.read_array("f4", N).copy()
+        return values, peak_queue, plan
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_recovery_matches_eager_engine(self, protocol):
+        deferred, peak_queue, plan = self._run(protocol, defer=True)
+        eager, eager_peak, eager_plan = self._run(protocol, defer=False)
+        # The loss must hit a non-empty queue or the scenario is vacuous.
+        assert peak_queue > 1
+        assert eager_peak == 0
+        assert plan.injected["cuda.launch"] == 1
+        assert eager_plan.injected["cuda.launch"] == 1
+        assert np.array_equal(deferred, eager)
+        assert np.all(deferred == np.float32(8.0))

@@ -1,0 +1,177 @@
+"""Golden eager-vs-deferred equivalence for the numerics engine.
+
+The deferred engine's contract (DESIGN.md §9): deferral and batching are
+*invisible* — every figure, trace, byte of device memory, and
+``SpecOutcome`` must be identical to an eager engine running the same
+program.  This suite pins that contract for every workload that ships a
+``batched_fn``, across all three coherence protocols, and property-tests
+materialization at random flush points.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.units import KB
+from repro.hw.machine import reference_system
+from repro.cuda.driver import DriverContext
+from repro.cuda.kernels import Kernel
+from repro.workloads.base import Application
+from repro.workloads.parboil import PARBOIL
+from repro.workloads.stencil3d import Stencil3D
+
+PROTOCOLS = ("batch", "lazy", "rolling")
+
+#: Every workload with a ``batched_fn``, at sizes that keep the full
+#: (workload x protocol x 2 engines) matrix fast.
+BATCHED_WORKLOADS = {
+    "pns": lambda: PARBOIL["pns"](
+        n_places=65536, iterations=12, sample_interval=4
+    ),
+    "cp": lambda: PARBOIL["cp"](grid_n=96, n_atoms=48),
+    "mri-q": lambda: PARBOIL["mri-q"](n_samples=48, n_voxels=16384),
+    "mri-fhd": lambda: PARBOIL["mri-fhd"](n_samples=4096, n_voxels=64),
+    "tpacf": lambda: PARBOIL["tpacf"](n_points=65536),
+    "stencil3d": lambda: Stencil3D(n=32, steps=8, dump_interval=4),
+}
+
+
+def _run(factory, protocol, defer):
+    machine = reference_system(trace=True, defer_numerics=defer)
+    result = factory().execute(
+        mode="gmac", protocol=protocol, machine=machine,
+        gmac_options={"layer": "driver"},
+    )
+    machine.gpu.materialize()  # drain any tail before inspecting bytes
+    return result, machine
+
+
+def _device_bytes(machine):
+    memory = machine.gpu.memory
+    return {
+        start: allocation.buffer.tobytes()
+        for start, allocation in memory._allocations.items()
+    }
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("name", sorted(BATCHED_WORKLOADS))
+    def test_deferred_engine_is_invisible(self, name, protocol):
+        factory = BATCHED_WORKLOADS[name]
+        deferred, d_machine = _run(factory, protocol, defer=True)
+        eager, e_machine = _run(factory, protocol, defer=False)
+
+        assert deferred.verified and eager.verified
+        # Virtual time and its Figure-10 decomposition.
+        assert deferred.elapsed == eager.elapsed
+        assert deferred.breakdown == eager.breakdown
+        # Figure-8 traffic and fault/signal counts.
+        assert deferred.bytes_to_accelerator == eager.bytes_to_accelerator
+        assert deferred.bytes_to_host == eager.bytes_to_host
+        assert deferred.faults == eager.faults
+        assert deferred.signals == eager.signals
+        # The full charged-interval trace, event for event.
+        assert d_machine.trace.events == e_machine.trace.events
+        # Device memory, byte for byte, allocation for allocation.
+        assert _device_bytes(d_machine) == _device_bytes(e_machine)
+        # Output files, byte for byte.
+        assert (deferred.extra["app"].fs._files
+                == eager.extra["app"].fs._files)
+        # And the comparison is not vacuous: one engine deferred, the
+        # other never queued a single launch.
+        assert d_machine.gpu.numerics_flushes > 0
+        assert e_machine.gpu.numerics_flushes == 0
+
+    def test_pns_actually_batches(self):
+        _, machine = _run(BATCHED_WORKLOADS["pns"], "rolling", defer=True)
+        assert machine.gpu.batched_rounds == machine.gpu.numerics_rounds > 0
+        assert machine.gpu.numerics_flushes < machine.gpu.numerics_rounds
+
+
+class TestSpecOutcomeEquivalence:
+    """Experiment-plane view: identical SpecOutcomes, field for field."""
+
+    def _specs(self):
+        from repro.experiments.executor import expand
+
+        specs = expand(["fig7"], quick=True)
+        picked, seen = [], set()
+        for spec in specs:
+            if spec.workload not in seen and spec.mode == "gmac":
+                seen.add(spec.workload)
+                picked.append(spec)
+        return picked
+
+    def test_outcomes_identical(self, monkeypatch):
+        import repro.hw.gpu as gpu_module
+
+        for spec in self._specs():
+            monkeypatch.setattr(gpu_module, "DEFAULT_DEFER_NUMERICS", True)
+            deferred = spec.execute()
+            monkeypatch.setattr(gpu_module, "DEFAULT_DEFER_NUMERICS", False)
+            eager = spec.execute()
+            assert deferred == eager, spec.key
+
+
+N_WORDS = KB // 4
+
+
+def _mix_fn(gpu, data, n, step):
+    gpu.view(data, "i4", n)[:] += np.int32(step)
+
+
+def _mix_batched(gpu, launches):
+    first = launches[0]
+    total = sum(entry["step"] for entry in launches)
+    gpu.view(first["data"], "i4", first["n"])[:] += np.int32(total)
+
+
+#: Integer bump kernel: the batched form (one += sum) is exactly the
+#: launch-by-launch result, so any divergence is an engine-ordering bug.
+MIX = Kernel(
+    "mix", _mix_fn,
+    cost=lambda data, n, step: (n, 8 * n),
+    writes=("data",),
+    batched_fn=_mix_batched,
+    batch_by=("step",),
+)
+
+
+class TestRandomFlushPoints:
+    """Reads interleaved at random force flushes at arbitrary depths."""
+
+    @staticmethod
+    def _run(ops, defer):
+        machine = reference_system(defer_numerics=defer)
+        app = Application(machine)
+        ctx = DriverContext(machine, app.process)
+        dev = ctx.mem_alloc(KB)
+        ctx.gpu.memory.view(dev, "i4", N_WORDS)[:] = np.arange(
+            N_WORDS, dtype=np.int32
+        )
+        reads = []
+        for op in ops:
+            if op == "read":
+                reads.append(bytes(ctx.gpu.memory.read(dev, 64)))
+            else:
+                ctx.launch(MIX, {"data": dev, "n": N_WORDS, "step": op})
+        machine.gpu.materialize()
+        final = bytes(ctx.gpu.memory.read(dev, KB))
+        return reads, final
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.integers(min_value=1, max_value=9), st.just("read")
+            ),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    def test_reads_and_final_bytes_match_eager(self, ops):
+        d_reads, d_final = self._run(ops, defer=True)
+        e_reads, e_final = self._run(ops, defer=False)
+        assert d_reads == e_reads
+        assert d_final == e_final
