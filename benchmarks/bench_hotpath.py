@@ -46,6 +46,11 @@ DEFAULT_RUNS = 3
 #: CI fails when the normalized metric regresses by more than this factor.
 REGRESSION_LIMIT = 1.25
 
+#: Armed sanitizer (model checker + race detector) may at most double a
+#: run's host cost; the checkers are per-event O(blocks) observers, so
+#: anything past 2x means an accidental hot-path coupling.
+SANITIZER_OVERHEAD_LIMIT = 2.0
+
 #: Executed in a fresh interpreter per cold run.  Calibration scales with
 #: the same resources the simulator burns (numpy ufunc dispatch + Python
 #: bytecode), so sweep/calibration is comparable across machines.
@@ -86,6 +91,37 @@ throughput = (
     accounting.throughput() if hasattr(accounting, "throughput") else None
 )
 
+# Sanitizer overhead: the same workload, unchecked vs with the coherence
+# model checker + race detector armed.  Older engines (the baseline
+# recording run reuses this child) predate the analysis package.
+sanitizer_overhead = None
+try:
+    from repro import analysis
+except ImportError:
+    analysis = None
+if analysis is not None:
+    def sanitized_pair():
+        start = time.perf_counter()
+        VectorAdd(seed=11).execute(mode="gmac", protocol="rolling")
+        unchecked = time.perf_counter() - start
+        analysis.enable()
+        try:
+            start = time.perf_counter()
+            VectorAdd(seed=11).execute(mode="gmac", protocol="rolling")
+            checked = time.perf_counter() - start
+        finally:
+            analysis.disable()
+        return unchecked, checked
+
+    pairs = [sanitized_pair() for _ in range(3)]
+    unchecked_s = min(pair[0] for pair in pairs)
+    checked_s = min(pair[1] for pair in pairs)
+    sanitizer_overhead = {
+        "unchecked_s": unchecked_s,
+        "checked_s": checked_s,
+        "overhead_x": checked_s / unchecked_s,
+    }
+
 from repro.util.units import MB
 from repro.workloads.parboil import PARBOIL
 
@@ -111,6 +147,7 @@ print(json.dumps({
     "spec_count": len(specs),
     "throughput": throughput,
     "kernel_numerics": kernel_numerics,
+    "sanitizer_overhead": sanitizer_overhead,
 }))
 """
 
@@ -153,6 +190,8 @@ def _measure(runs):
         "regressed": normalized > base_normalized * REGRESSION_LIMIT,
         "throughput": samples[-1]["throughput"],
         "kernel_numerics": samples[-1].get("kernel_numerics"),
+        "sanitizer_overhead": samples[-1].get("sanitizer_overhead"),
+        "sanitizer_overhead_limit": SANITIZER_OVERHEAD_LIMIT,
     }
 
 
@@ -211,6 +250,12 @@ def test_hotpath_cold_sweep_vs_baseline():
         f"baseline {report['baseline']['normalized']:.2f} "
         f"(limit {REGRESSION_LIMIT}x)"
     )
+    overhead = report.get("sanitizer_overhead")
+    if overhead is not None:
+        assert overhead["overhead_x"] <= SANITIZER_OVERHEAD_LIMIT, (
+            f"sanitizer overhead {overhead['overhead_x']:.2f}x exceeds the "
+            f"{SANITIZER_OVERHEAD_LIMIT}x budget"
+        )
 
 
 def main(argv=None):

@@ -31,8 +31,28 @@ def pytest_addoption(parser):
             "--no-cache", action="store_true",
             help="ignore the persistent result cache under results/cache/",
         )
+        group.addoption(
+            "--sanitize", action="store_true",
+            help=(
+                "arm the coherence model checker and kernel-window race "
+                "detector on every GMAC workload execution (disables the "
+                "result cache: checked results must come from checked runs)"
+            ),
+        )
     except ValueError:
         pass
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sanitize_mode(request):
+    from repro import analysis
+
+    if not _option(request.config, "--sanitize", False):
+        yield
+        return
+    analysis.enable()
+    yield
+    analysis.disable()
 
 
 def _option(config, name, default):
@@ -48,7 +68,10 @@ def executor(request):
     """The sweep executor configured from the --jobs/--no-cache options."""
     return ExperimentExecutor(
         jobs=_option(request.config, "--jobs", 1),
-        use_cache=not _option(request.config, "--no-cache", False),
+        use_cache=not (
+            _option(request.config, "--no-cache", False)
+            or _option(request.config, "--sanitize", False)
+        ),
     )
 
 

@@ -1,0 +1,193 @@
+"""Kernel-window race detector.
+
+Between ``adsmCall`` and ``adsmSync`` every object bound to the running
+kernel is *released*: the accelerator owns it, and any CPU access to it
+is a data race under GMAC's release consistency (Section 3.2).  The
+detector tracks that window per object and flags three access paths:
+
+* **Faulting access** (``window-access``): the CPU touches a released
+  object through ordinary loads/stores.  Detected by registering first in
+  the SIGSEGV handler chain — a released object's pages are protected, so
+  the racing access faults before the protocol can service it.
+* **Interposed I/O** (``window-io``): ``read``/``write``/``memset``/
+  ``memcpy`` over a released object.  These are pre-faulted or routed to
+  the device by the interposer and may never raise SIGSEGV, so the
+  interposer reports the target intervals explicitly via
+  :meth:`notify_io`.
+* **Unmediated device access** (``window-device-observe``): device memory
+  observed outside every mediated path (API boundary, fault service,
+  interposed call, recovery).  Mediated paths bracket themselves with
+  :meth:`enter_internal`/:meth:`exit_internal`; anything else touching
+  device bytes while a window is open is a backdoor around the
+  completion barrier.
+
+The detector is an observer: its signal handler always returns False
+(never claims the fault) and it never mutates protocol state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.util.intervals import Interval
+from repro.analysis.report import Violation
+
+#: Name under which the monitor registers its SIGSEGV handler; a second
+#: monitor on the same dispatcher is a configuration error and collides.
+HANDLER_NAME = "kernel-window-race-monitor"
+
+
+@dataclass
+class _Window:
+    """One object released to an in-flight kernel."""
+
+    region: Any
+    interval: Interval
+    mode: str  # "written" or "read"
+    kernel: str
+    seq: int
+
+
+class RaceDetector:
+    """Flags CPU accesses to objects bound to in-flight kernels."""
+
+    def __init__(self, clock: Any) -> None:
+        self.clock = clock
+        self.windows: Dict[str, _Window] = {}
+        self.violations: List[Violation] = []
+        self.faults_screened = 0
+        self.io_checks = 0
+        self._internal_depth = 0
+        self._seq = 0
+        self._seen: Set[Tuple[str, str, int]] = set()
+        self._gmac: Optional[Any] = None
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def attach(self, gmac: Any) -> None:
+        """Hook into a Gmac instance's signal, observe and API paths."""
+        self._gmac = gmac
+        gmac.monitor = self
+        gmac.manager.monitor = self
+        gmac.process.signals.register(self._on_signal, name=HANDLER_NAME)
+        gmac.layer.gpu.observe_hook = self._observed
+
+    def detach(self) -> None:
+        gmac = self._gmac
+        if gmac is None:
+            return
+        gmac.layer.gpu.observe_hook = None
+        gmac.process.signals.unregister(self._on_signal)
+        gmac.manager.monitor = None
+        gmac.monitor = None
+        self._gmac = None
+
+    # -- internal-path bracketing ---------------------------------------------------
+
+    def enter_internal(self) -> None:
+        """A mediated GMAC path is running: suppress device-observe flags."""
+        self._internal_depth += 1
+
+    def exit_internal(self) -> None:
+        self._internal_depth -= 1
+
+    # -- window lifecycle -----------------------------------------------------------
+
+    def on_call(self, regions: Iterable[Any], written: Optional[Any],
+                kernel: str) -> None:
+        """A kernel launched: open (or escalate) a window per object."""
+        self._seq += 1
+        written_set = None if written is None else set(written)
+        for region in regions:
+            mode = (
+                "written" if written_set is None or region in written_set
+                else "read"
+            )
+            existing = self.windows.get(region.name)
+            if existing is not None:
+                # Back-to-back launches: keep the stronger claim.
+                if existing.mode == "written":
+                    mode = "written"
+            self.windows[region.name] = _Window(
+                region, region.interval, mode, kernel, self._seq
+            )
+
+    def on_sync(self) -> None:
+        """The completion barrier: every window closes."""
+        self.windows.clear()
+
+    # -- access judgment ------------------------------------------------------------
+
+    def _flag(self, rule: str, window: _Window, message: str) -> None:
+        key = (rule, window.region.name, window.seq)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.violations.append(Violation(
+            "races", rule, self.clock.now, message,
+            region=window.region.name,
+        ))
+
+    def _racing_windows(self, interval: Interval,
+                        access_writes: bool) -> List[_Window]:
+        """Windows this host access races with.
+
+        A host *read* of a kernel-written object sees torn data; a host
+        *write* races with the kernel whichever way the kernel uses the
+        object.  Reading an object the kernel only reads is benign.
+        """
+        return [
+            window for window in self.windows.values()
+            if window.interval.overlaps(interval)
+            and (access_writes or window.mode == "written")
+        ]
+
+    def _on_signal(self, info: Any) -> bool:
+        """First in the SIGSEGV chain; observes and never claims."""
+        self.faults_screened += 1
+        point = Interval.sized(info.address, 1)
+        writes = getattr(info.access, "name", "") == "WRITE"
+        for window in self._racing_windows(point, writes):
+            verb = "writes" if writes else "reads"
+            self._flag(
+                "window-access", window,
+                f"CPU {verb} {info.address:#x} while kernel "
+                f"'{window.kernel}' holds the object ({window.mode}); "
+                "access precedes the adsmSync barrier",
+            )
+        return False
+
+    def notify_io(self, kind: str, access: Any, interval: Interval) -> None:
+        """Interposer callback: judge a libc call's target interval."""
+        self.io_checks += 1
+        writes = getattr(access, "name", "") == "WRITE"
+        for window in self._racing_windows(interval, writes):
+            self._flag(
+                "window-io", window,
+                f"interposed {kind}() touches "
+                f"[{interval.start:#x}, {interval.end:#x}) while kernel "
+                f"'{window.kernel}' holds the object ({window.mode}); "
+                "I/O precedes the adsmSync barrier",
+            )
+
+    def _observed(self) -> None:
+        """Device memory observed: legal only on a mediated path."""
+        if self._internal_depth > 0 or not self.windows:
+            return
+        window = next(iter(self.windows.values()))
+        self._flag(
+            "window-device-observe", window,
+            "device memory observed outside every mediated path while "
+            f"kernel '{window.kernel}' is in flight: the access bypasses "
+            "the completion barrier",
+        )
+
+    # -- results --------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "faults_screened": self.faults_screened,
+            "io_checks": self.io_checks,
+            "violations": len(self.violations),
+        }

@@ -1,0 +1,101 @@
+"""Sanitizer violations: the value type, the error, and report files.
+
+Every check in :mod:`repro.analysis` produces :class:`Violation` values —
+one per broken invariant, carrying the virtual time, the rule id and a
+precise human-readable diff of what the reference model expected versus
+what the implementation claimed.  :func:`write_report` persists them as
+JSON when the ``REPRO_SANITIZE_REPORT`` environment variable names a
+directory (CI uploads that directory as a build artifact), and
+:class:`SanitizerViolation` is the error a sanitized run dies with.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import asdict, dataclass
+from typing import Any, Optional, Sequence
+
+from repro.util.errors import ReproError
+
+#: Directory for JSON violation reports; unset means no files are written.
+REPORT_DIR_ENV = "REPRO_SANITIZE_REPORT"
+
+#: Per-process report counter, so one process writing several reports
+#: never needs wall-clock entropy for unique file names.
+_report_seq = 0
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, precisely located.
+
+    ``source`` is the subsystem that found it (``checker`` for the
+    coherence model checker, ``races`` for the kernel-window race
+    detector), ``rule`` a stable short identifier, ``time`` the virtual
+    time of the offending event, and ``message`` the expected-vs-claimed
+    diff.
+    """
+
+    source: str
+    rule: str
+    time: float
+    message: str
+    region: str = ""
+
+
+class SanitizerViolation(ReproError):
+    """A sanitized run observed at least one illegal transition or race."""
+
+    def __init__(self, context: str, violations: Sequence[Violation],
+                 report: Optional[str] = None) -> None:
+        self.context = context
+        self.violations = list(violations)
+        self.report = report
+        shown = [
+            f"  [{v.source}:{v.rule}] t={v.time:.9f} "
+            + (f"{v.region}: " if v.region else "")
+            + v.message
+            for v in self.violations[:16]
+        ]
+        if len(self.violations) > len(shown):
+            shown.append(f"  ... and {len(self.violations) - len(shown)} more")
+        trailer = f"\n  (full report: {report})" if report else ""
+        super().__init__(
+            f"sanitizer: {len(self.violations)} violation(s) in {context}:\n"
+            + "\n".join(shown) + trailer
+        )
+
+    def __reduce__(self) -> Any:
+        # BaseException's default reduce replays self.args (the formatted
+        # message) into __init__, which breaks crossing a multiprocessing
+        # pool; rebuild from the real constructor arguments instead.
+        return (self.__class__, (self.context, self.violations, self.report))
+
+
+def write_report(context: str, violations: Sequence[Violation],
+                 stats: Optional[dict[str, Any]] = None) -> Optional[str]:
+    """Persist violations as JSON under ``$REPRO_SANITIZE_REPORT``.
+
+    Returns the file path, or None when reporting is not configured or
+    there is nothing to report.
+    """
+    global _report_seq
+    directory = os.environ.get(REPORT_DIR_ENV)
+    if not directory or not violations:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    _report_seq += 1
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", context).strip("_") or "run"
+    path = os.path.join(
+        directory, f"violations-{os.getpid()}-{_report_seq}-{slug}.json"
+    )
+    payload = {
+        "context": context,
+        "violations": [asdict(violation) for violation in violations],
+        "stats": dict(stats or {}),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path

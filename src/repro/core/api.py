@@ -115,6 +115,10 @@ class Gmac:
             self.interposer.install(libc)
         self._pending = []
         self.kernel_calls = 0
+        #: Optional kernel-window race monitor (see
+        #: :class:`repro.analysis.races.RaceDetector`); None — the default —
+        #: keeps every boundary below a single attribute test.
+        self.monitor = None
 
     # -- Table 1 -------------------------------------------------------------------
 
@@ -154,23 +158,42 @@ class Gmac:
 
     def _issue_call(self, kernel, written, args):
         """One attempt at the release+launch sequence (no recovery)."""
-        with self.accounting.measure(Category.LAUNCH, label=kernel.name):
-            self.machine.clock.advance(self.costs.api_call_s)
-            earliest = self.manager.release_for_call(written=written)
-            device_args = {}
-            for key, value in args.items():
-                if isinstance(value, SharedPtr):
-                    device_args[key] = value.device_addr
-                elif isinstance(value, Ptr):
-                    raise GmacError(
-                        f"kernel argument {key!r} is a host pointer; "
-                        "accelerators cannot access host memory"
-                    )
-                else:
-                    device_args[key] = value
-            completion = self.layer.launch(kernel, device_args, earliest=earliest)
-            self._pending.append(completion)
-            self.kernel_calls += 1
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.enter_internal()
+        try:
+            with self.accounting.measure(Category.LAUNCH, label=kernel.name):
+                self.machine.clock.advance(self.costs.api_call_s)
+                earliest = self.manager.release_for_call(written=written)
+                device_args = {}
+                for key, value in args.items():
+                    if isinstance(value, SharedPtr):
+                        device_args[key] = value.device_addr
+                    elif isinstance(value, Ptr):
+                        raise GmacError(
+                            f"kernel argument {key!r} is a host pointer; "
+                            "accelerators cannot access host memory"
+                        )
+                    else:
+                        device_args[key] = value
+                completion = self.layer.launch(
+                    kernel, device_args, earliest=earliest
+                )
+                self._pending.append(completion)
+                self.kernel_calls += 1
+        finally:
+            if monitor is not None:
+                monitor.exit_internal()
+        # Only a *successful* launch releases objects to an in-flight
+        # kernel: failed launches raise above, enqueue no numerics, and
+        # open no race window.
+        self.manager.note_coherence(
+            "call", detail="*" if written is None else ",".join(
+                sorted(region.name for region in written)
+            ),
+        )
+        if monitor is not None:
+            monitor.on_call(self.manager.regions(), written, kernel.name)
         return completion
 
     def sync(self):
@@ -184,16 +207,28 @@ class Gmac:
         lazy/rolling a call/sync loop accumulates a batchable queue of
         kernel numerics (see DESIGN.md §9).
         """
-        with self.accounting.measure(Category.SYNC, label="adsmSync"):
-            self.machine.clock.advance(self.costs.api_call_s)
-            wait_start = self.machine.clock.now
-            for completion in self._pending:
-                completion.wait()
-            self._pending.clear()
-            waited = self.machine.clock.now - wait_start
-            if waited > 0:
-                self.accounting.charge(Category.GPU, waited, label="kernel-wait")
-            self.manager.acquire_after_return()
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.enter_internal()
+        try:
+            with self.accounting.measure(Category.SYNC, label="adsmSync"):
+                self.machine.clock.advance(self.costs.api_call_s)
+                wait_start = self.machine.clock.now
+                for completion in self._pending:
+                    completion.wait()
+                self._pending.clear()
+                waited = self.machine.clock.now - wait_start
+                if waited > 0:
+                    self.accounting.charge(
+                        Category.GPU, waited, label="kernel-wait"
+                    )
+                self.manager.acquire_after_return()
+        finally:
+            if monitor is not None:
+                monitor.exit_internal()
+        self.manager.note_coherence("sync")
+        if monitor is not None:
+            monitor.on_sync()
 
     # -- Section 4.2 safe variants ------------------------------------------------------
 

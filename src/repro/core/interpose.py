@@ -64,6 +64,33 @@ class GmacInterposer:
     def process(self):
         return self.gmac.process
 
+    def _guard(self, kind, access, address, size, extra=None):
+        """Race-monitor bookkeeping for one interposed libc call.
+
+        Judges the application-visible access against any open kernel
+        windows *before* the work happens, then marks the call internal so
+        the coherence traffic it triggers (pre-faults, device-side bulk
+        ops, peer DMA) is not misattributed.  Returns a context token for
+        :meth:`_unguard`, or None when no monitor is attached.
+        """
+        monitor = self.gmac.monitor
+        if monitor is None:
+            return None
+        monitor.notify_io(kind, access, Interval.sized(address, size))
+        if extra is not None:
+            monitor.notify_io(kind, extra[0], extra[1])
+        monitor.enter_internal()
+        return monitor
+
+    @staticmethod
+    def _unguard(monitor):
+        if monitor is not None:
+            monitor.exit_internal()
+
+    def _note_bulk(self, region, index, detail):
+        self.manager.note_coherence("bulk", region.name, index, index,
+                                    detail=detail)
+
     def install(self, libc):
         """Interpose read/write/memset/memcpy on ``libc``."""
         for name, factory in (
@@ -84,30 +111,37 @@ class GmacInterposer:
 
     def _make_read(self, default):
         def read(handle, address, size):
-            total = 0
-            for piece, region in split_shared(
-                self.manager, Interval.sized(address, size)
-            ):
-                if region is None:
-                    # Plain memory cannot fault, but a faulty disk can still
-                    # deliver short; keep the POSIX resume loop here too.
-                    total += self._read_fully(
-                        default, handle, piece.start, piece.size
-                    )
-                    continue
-                for block, chunk, full in block_pieces(region, piece):
-                    if full and self.gmac.peer_dma:
-                        total += self._peer_read(handle, block)
-                        continue
-                    # Pre-fault the chunk's block so the (un-restartable)
-                    # copy below cannot trip over a protection boundary.
-                    self.process.touch(chunk.start, chunk.size, AccessKind.WRITE)
-                    total += self._read_fully(
-                        default, handle, chunk.start, chunk.size
-                    )
-            return total
+            token = self._guard("read", AccessKind.WRITE, address, size)
+            try:
+                return self._read(default, handle, address, size)
+            finally:
+                self._unguard(token)
 
         return read
+
+    def _read(self, default, handle, address, size):
+        total = 0
+        for piece, region in split_shared(
+            self.manager, Interval.sized(address, size)
+        ):
+            if region is None:
+                # Plain memory cannot fault, but a faulty disk can still
+                # deliver short; keep the POSIX resume loop here too.
+                total += self._read_fully(
+                    default, handle, piece.start, piece.size
+                )
+                continue
+            for block, chunk, full in block_pieces(region, piece):
+                if full and self.gmac.peer_dma:
+                    total += self._peer_read(handle, block)
+                    continue
+                # Pre-fault the chunk's block so the (un-restartable)
+                # copy below cannot trip over a protection boundary.
+                self.process.touch(chunk.start, chunk.size, AccessKind.WRITE)
+                total += self._read_fully(
+                    default, handle, chunk.start, chunk.size
+                )
+        return total
 
     def _read_fully(self, default, handle, start, size):
         """Resume short reads until the chunk is full or EOF.
@@ -148,30 +182,38 @@ class GmacInterposer:
             self.gmac.machine.link.transfer(
                 len(data), Direction.H2D, label="peer-dma"
             )
+            self._note_bulk(block.region, block.index, "peer-dma")
             self.gmac.protocol.discard_block(block)
             return len(data)
 
     def _make_write(self, default):
         def write(handle, address, size):
-            total = 0
-            for piece, region in split_shared(
-                self.manager, Interval.sized(address, size)
-            ):
-                if region is None:
-                    total += default(handle, piece.start, piece.size)
-                    continue
-                for block, chunk, full in block_pieces(region, piece):
-                    if (full and self.gmac.peer_dma
-                            and block.state is BlockState.INVALID):
-                        total += self._peer_write(handle, block)
-                        continue
-                    # Reading invalid data faults it back one block at a
-                    # time; pre-faulting keeps the write() copy whole.
-                    self.process.touch(chunk.start, chunk.size, AccessKind.READ)
-                    total += default(handle, chunk.start, chunk.size)
-            return total
+            token = self._guard("write", AccessKind.READ, address, size)
+            try:
+                return self._write(default, handle, address, size)
+            finally:
+                self._unguard(token)
 
         return write
+
+    def _write(self, default, handle, address, size):
+        total = 0
+        for piece, region in split_shared(
+            self.manager, Interval.sized(address, size)
+        ):
+            if region is None:
+                total += default(handle, piece.start, piece.size)
+                continue
+            for block, chunk, full in block_pieces(region, piece):
+                if (full and self.gmac.peer_dma
+                        and block.state is BlockState.INVALID):
+                    total += self._peer_write(handle, block)
+                    continue
+                # Reading invalid data faults it back one block at a
+                # time; pre-faulting keeps the write() copy whole.
+                self.process.touch(chunk.start, chunk.size, AccessKind.READ)
+                total += default(handle, chunk.start, chunk.size)
+        return total
 
     def _peer_write(self, handle, block):
         """Peer DMA outbound: device memory streams straight to the file,
@@ -193,45 +235,63 @@ class GmacInterposer:
 
     def _make_memset(self, default):
         def memset(address, value, size):
-            protocol = self.gmac.protocol
-            for piece, region in split_shared(
-                self.manager, Interval.sized(address, size)
-            ):
-                if region is None or not protocol.supports_device_bulk:
-                    default(piece.start, value, piece.size)
-                    continue
-                for block, chunk, full in block_pieces(region, piece):
-                    if full:
-                        # Device-side fill; the device copy becomes
-                        # canonical and the host copy is discarded.
-                        self.gmac.layer.device_memset(
-                            block.device_start, value, block.size
-                        )
-                        protocol.discard_block(block)
-                    else:
-                        default(chunk.start, value, chunk.size)
-            return address
+            token = self._guard("memset", AccessKind.WRITE, address, size)
+            try:
+                return self._memset(default, address, value, size)
+            finally:
+                self._unguard(token)
 
         return memset
 
+    def _memset(self, default, address, value, size):
+        protocol = self.gmac.protocol
+        for piece, region in split_shared(
+            self.manager, Interval.sized(address, size)
+        ):
+            if region is None or not protocol.supports_device_bulk:
+                default(piece.start, value, piece.size)
+                continue
+            for block, chunk, full in block_pieces(region, piece):
+                if full:
+                    # Device-side fill; the device copy becomes
+                    # canonical and the host copy is discarded.
+                    self.gmac.layer.device_memset(
+                        block.device_start, value, block.size
+                    )
+                    self._note_bulk(region, block.index, "memset")
+                    protocol.discard_block(block)
+                else:
+                    default(chunk.start, value, chunk.size)
+        return address
+
     def _make_memcpy(self, default):
         def memcpy(destination, source, size):
-            protocol = self.gmac.protocol
-            if not protocol.supports_device_bulk:
-                return default(destination, source, size)
-            for piece, dst_region in split_shared(
-                self.manager, Interval.sized(destination, size)
-            ):
-                src_start = source + (piece.start - destination)
-                if dst_region is None:
-                    self._copy_to_plain(piece, src_start, default)
-                else:
-                    self._copy_to_shared(
-                        dst_region, piece, src_start, default
-                    )
-            return destination
+            token = self._guard(
+                "memcpy", AccessKind.WRITE, destination, size,
+                extra=(AccessKind.READ, Interval.sized(source, size)),
+            )
+            try:
+                return self._memcpy(default, destination, source, size)
+            finally:
+                self._unguard(token)
 
         return memcpy
+
+    def _memcpy(self, default, destination, source, size):
+        protocol = self.gmac.protocol
+        if not protocol.supports_device_bulk:
+            return default(destination, source, size)
+        for piece, dst_region in split_shared(
+            self.manager, Interval.sized(destination, size)
+        ):
+            src_start = source + (piece.start - destination)
+            if dst_region is None:
+                self._copy_to_plain(piece, src_start, default)
+            else:
+                self._copy_to_shared(
+                    dst_region, piece, src_start, default
+                )
+        return destination
 
     def _copy_to_plain(self, dst_piece, src_start, default):
         """Destination is ordinary memory; source may still be shared."""
@@ -298,4 +358,5 @@ class GmacInterposer:
                 # The source straddles a shared boundary; keep it simple.
                 default(chunk.start, chunk_src, chunk.size)
                 continue
+            self._note_bulk(dst_region, block.index, "memcpy")
             protocol.discard_block(block)

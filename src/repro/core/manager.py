@@ -22,7 +22,7 @@ import numpy as np
 from repro.util.errors import AllocationError, GmacError
 from repro.util.intervals import Interval, RangeMap
 from repro.util.avltree import AvlTree
-from repro.sim.tracing import Category
+from repro.sim.tracing import Category, CoherenceEvent
 from repro.os.paging import Prot
 from repro.core.blocks import (
     Block, BlockState, DIRTY_CODE, INVALID_CODE, index_runs,
@@ -45,6 +45,11 @@ class Manager:
         #: Optional RecoveryPolicy (installed by Gmac when the machine has
         #: an enabled fault plan).  None keeps every path unchanged.
         self.recovery = None
+        #: Optional kernel-window race monitor (shared with the owning
+        #: Gmac); used only to mark fault-driven coherence work as
+        #: GMAC-internal so its device-byte traffic is not misattributed
+        #: to the application.
+        self.monitor = None
         self._regions = RangeMap()
         #: The Section 5.2 balanced tree, kept as the fault-cost oracle:
         #: mutated only at alloc/free, never searched on the fault path.
@@ -123,6 +128,10 @@ class Manager:
                 self._cost_tree.insert(table.start_of(index), None)
             self._steps_epoch += 1
             self.clock.advance(self.costs.block_setup_s * table.n_blocks)
+            self.note_coherence(
+                "alloc", region.name, 0, table.n_blocks - 1,
+                detail=f"size={size}",
+            )
             self.protocol.on_alloc(region)
         return region
 
@@ -165,6 +174,9 @@ class Manager:
         region = found[1]
         with self.accounting.measure(Category.FREE, label=region.name):
             self.clock.advance(self.costs.api_call_s)
+            self.note_coherence(
+                "free", region.name, 0, region.table.n_blocks - 1
+            )
             self.protocol.on_free(region)
             table = region.table
             for index in range(table.n_blocks):
@@ -209,6 +221,30 @@ class Manager:
     def block_count(self):
         return len(self._cost_tree)
 
+    # -- coherence event stream (consumed by repro.analysis) ----------------------
+
+    def note_coherence(self, kind, region="", first=-1, last=-1, state="",
+                       detail=""):
+        """Emit one :class:`~repro.sim.tracing.CoherenceEvent`.
+
+        A no-op (one attribute test) unless a sink is installed on the
+        accounting — the sanitizer's model checker consumes the stream.
+        """
+        sink = self.accounting.coherence
+        if sink is not None:
+            sink.record(CoherenceEvent(
+                kind, self.clock.now, region=region, first=first, last=last,
+                state=state, detail=detail,
+            ))
+
+    def _note_transition(self, region, first, last, state, detail=""):
+        sink = self.accounting.coherence
+        if sink is not None:
+            sink.record(CoherenceEvent(
+                "transition", self.clock.now, region=region.name,
+                first=first, last=last, state=state.value, detail=detail,
+            ))
+
     # -- protection and state ---------------------------------------------------------
 
     def set_prot(self, interval, prot):
@@ -221,6 +257,7 @@ class Manager:
         index = block.index
         table.states[index] = state.code
         self.accounting.count_transitions(1)
+        self._note_transition(block.region, index, index, state)
         start = table.start_of(index)
         self.clock.advance(self.costs.mprotect_s)
         self.process.address_space.mprotect(
@@ -231,6 +268,7 @@ class Manager:
         """Bulk state+protection change for a whole region (one mprotect)."""
         region.table.fill(state)
         self.accounting.count_transitions(region.table.n_blocks)
+        self._note_transition(region, 0, region.table.n_blocks - 1, state)
         self.set_prot(region.interval, prot)
 
     def set_blocks_range(self, blocks, state, prot):
@@ -249,9 +287,32 @@ class Manager:
         table = region.table
         table.fill_range(first, last, state)
         self.accounting.count_transitions(last - first + 1)
+        self._note_transition(region, first, last, state)
         self.set_prot(
             Interval(table.start_of(first), table.end_of(last)), prot
         )
+
+    def set_states_only(self, region, state):
+        """Whole-region state bookkeeping with no protection change.
+
+        The batch protocol runs with no memory protections, so its bulk
+        transitions are pure table fills; routing them here keeps the
+        transition counters and the coherence event stream complete.
+        """
+        region.table.fill(state)
+        self.accounting.count_transitions(region.table.n_blocks)
+        self._note_transition(region, 0, region.table.n_blocks - 1, state)
+
+    def mark_state(self, region, index, state):
+        """Single-block state bookkeeping with no protection change.
+
+        Used by protocols for transitions whose protection was already
+        established (e.g. rolling-update's call-time demotion of blocks
+        its eager eviction left read-protected).
+        """
+        region.table.states[index] = state.code
+        self.accounting.count_transitions(1)
+        self._note_transition(region, index, index, state)
 
     # -- data movement ------------------------------------------------------------------
 
@@ -284,6 +345,10 @@ class Manager:
         size = table.end_of(index) - host_start
         device_start = region.device_start + (host_start - region.host_start)
         self.bytes_to_accelerator += size
+        self.note_coherence(
+            "flush", region.name, index, index,
+            detail="sync" if sync else "eager",
+        )
         if sync:
             with self.accounting.measure(Category.COPY, label=region.flush_label):
                 if self.recovery is None:
@@ -330,15 +395,24 @@ class Manager:
         self.bytes_to_host += size
         with self.accounting.measure(Category.COPY, label=region.fetch_label):
             if self.recovery is None:
-                return self.layer.to_host(
+                result = self.layer.to_host(
                     host_start, device_start, size, sync=True
                 )
-            return self._attempt_transfer(
-                lambda: self.layer.to_host(
-                    host_start, device_start, size, sync=True
-                ),
-                label=region.fetch_label,
-            )
+            else:
+                result = self._attempt_transfer(
+                    lambda: self.layer.to_host(
+                        host_start, device_start, size, sync=True
+                    ),
+                    label=region.fetch_label,
+                )
+        # Sampled *after* the transfer: the D2H read is a materialization
+        # barrier, so a non-zero pending count here means deferred kernel
+        # numerics were NOT replayed before host bytes were produced.
+        self.note_coherence(
+            "fetch", region.name, index, index,
+            detail=f"pending={self.layer.gpu.pending_numerics}",
+        )
+        return result
 
     def ensure_device_canonical(self, region, interval):
         """Make the accelerator copy of ``interval`` valid.
@@ -448,7 +522,18 @@ class Manager:
             )
             self.fault_count += 1
             self.accounting.count_fault()
-            self.protocol.on_fault(region.blocks[index], info.access)
+            monitor = self.monitor
+            if monitor is None:
+                self.protocol.on_fault(region.blocks[index], info.access)
+                return True
+            # The fault itself was already judged by the race monitor's own
+            # signal handler (it runs first); the coherence work it triggers
+            # is GMAC-internal data movement.
+            monitor.enter_internal()
+            try:
+                self.protocol.on_fault(region.blocks[index], info.access)
+            finally:
+                monitor.exit_internal()
             return True
 
     # -- call/return boundaries (the consistency model, Section 3.3) ---------------------

@@ -45,7 +45,7 @@ class BatchUpdate(Protocol):
             table = region.table
             for index in table.indices_not_in(BlockState.INVALID):
                 self.manager.flush_index(region, int(index), sync=True)
-            table.fill(BlockState.INVALID)
+            self.manager.set_states_only(region, BlockState.INVALID)
 
     def post_sync(self, regions):
         # Everything back, implicitly invalidating the accelerator copy.
@@ -53,14 +53,14 @@ class BatchUpdate(Protocol):
             table = region.table
             for index in range(table.n_blocks):
                 self.manager.fetch_index(region, index)
-            table.fill(BlockState.DIRTY)
+            self.manager.set_states_only(region, BlockState.DIRTY)
 
     def invalidate_region(self, region):
         # Without fault detection the host copy must be refreshed eagerly.
         table = region.table
         for index in range(table.n_blocks):
             self.manager.fetch_index(region, index)
-        table.fill(BlockState.DIRTY)
+        self.manager.set_states_only(region, BlockState.DIRTY)
 
     def after_device_recovery(self, regions):
         # Batch runs unprotected with host copies always writable; the

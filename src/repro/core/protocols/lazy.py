@@ -9,7 +9,7 @@ host-to-accelerator, and only CPU-read data moves back.
 """
 
 from repro.os.paging import Prot, AccessKind
-from repro.core.blocks import BlockState
+from repro.core.blocks import BlockState, INVALID_CODE
 from repro.core.protocols.base import Protocol
 
 
@@ -51,11 +51,16 @@ class LazyUpdate(Protocol):
             for index in region.table.indices_in(BlockState.DIRTY):
                 self.manager.flush_index(region, int(index), sync=True)
             if written is not None and region not in written:
-                # Annotated as read-only for the kernel: both copies now
-                # match, so the host copy stays valid (no read-back later).
-                self.manager.set_region_blocks(
-                    region, BlockState.READ_ONLY, Prot.READ
-                )
+                # Annotated as read-only for the kernel: a just-flushed (or
+                # already matching) host copy stays valid, avoiding the
+                # read-back later.  An *invalid* object must stay invalid —
+                # its host bytes are stale from an earlier kernel, and
+                # promoting them to READ_ONLY would let the CPU silently
+                # read pre-kernel data (caught by the coherence checker).
+                if region.table.states[0] != INVALID_CODE:
+                    self.manager.set_region_blocks(
+                        region, BlockState.READ_ONLY, Prot.READ
+                    )
             else:
                 self.manager.set_region_blocks(
                     region, BlockState.INVALID, Prot.NONE

@@ -19,7 +19,7 @@ from collections import deque
 
 from repro.util.units import KB
 from repro.os.paging import Prot, AccessKind, PAGE_SIZE, page_ceil
-from repro.core.blocks import BlockState
+from repro.core.blocks import BlockState, INVALID_CODE, index_runs
 from repro.core.protocols.base import Protocol
 
 #: Default memory-block size.  Figure 11 finds the PCIe bandwidth sweet
@@ -66,6 +66,7 @@ class RollingUpdate(Protocol):
             # Tie the dirty-block budget to the number of live objects so
             # every object can keep at least one block dirty (Section 4.3).
             self.rolling_size += self.adapt_increment
+        self.manager.note_coherence("limit", detail=str(self.rolling_size))
 
     def on_free(self, region):
         region.table.dirty_bits[:] = False
@@ -108,6 +109,9 @@ class RollingUpdate(Protocol):
         """
         self.evictions += 1
         block.region.table.dirty_bits[block.index] = False
+        self.manager.note_coherence(
+            "evict", block.region.name, block.index, block.index
+        )
         self._await_staging_buffer()
         self._last_eviction = self.manager.flush_to_device(block, sync=False)
         self.manager.set_block(block, BlockState.READ_ONLY, Prot.READ)
@@ -142,15 +146,25 @@ class RollingUpdate(Protocol):
             block = self._dirty.popleft()
             block.region.table.dirty_bits[block.index] = False
             self.manager.flush_to_device(block, sync=False)
-            block.state = BlockState.READ_ONLY
+            self.manager.mark_state(
+                block.region, block.index, BlockState.READ_ONLY
+            )
         for region in regions:
             if written is not None and region not in written:
                 # Kernel-output annotation (Section 4.3's interprocedural
                 # pointer analysis hook): objects the kernel does not write
                 # stay valid on the host, avoiding the needless read-back.
-                self.manager.set_region_blocks(
-                    region, BlockState.READ_ONLY, Prot.READ
-                )
+                # Blocks still invalid from an earlier kernel must *stay*
+                # invalid — their host bytes are stale, and promoting them
+                # would let the CPU silently read pre-kernel data.
+                table = region.table
+                for first, last in index_runs(
+                    table.indices_not_in(BlockState.INVALID)
+                ):
+                    self.manager.set_index_range(
+                        region, int(first), int(last),
+                        BlockState.READ_ONLY, Prot.READ,
+                    )
             else:
                 self.manager.set_region_blocks(
                     region, BlockState.INVALID, Prot.NONE
@@ -194,10 +208,15 @@ class RollingUpdate(Protocol):
         while self._dirty:
             block = self._dirty.popleft()
             block.region.table.dirty_bits[block.index] = False
+            self.manager.note_coherence(
+                "evict", block.region.name, block.index, block.index,
+                detail="forced",
+            )
             self.manager.flush_to_device(block, sync=True)
             self.manager.set_block(block, BlockState.READ_ONLY, Prot.READ)
             evicted += 1
         self.rolling_size = max(1, self.rolling_size // 2)
+        self.manager.note_coherence("limit", detail=str(self.rolling_size))
         return evicted
 
     def after_device_recovery(self, regions):

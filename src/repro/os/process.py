@@ -92,7 +92,7 @@ class Process:
 
         self._advance_through(address, size, AccessKind.READ, commit)
         if len(chunks) == 1:
-            return bytes(chunks[0])
+            return bytes(chunks[0])  # sanitizer: allow[R002]
         return b"".join(chunks)
 
     def read_view(self, address, size):

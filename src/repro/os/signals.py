@@ -38,23 +38,60 @@ class SignalDispatcher:
             self.DELIVERY_OVERHEAD_S if overhead_s is None else overhead_s
         )
         self._handlers = []
+        self._names = {}
         self.delivered = 0
         self.unhandled = 0
 
-    def register(self, handler):
+    @staticmethod
+    def _default_name(handler):
+        """A stable identity for a handler: qualified name + owner id.
+
+        Bound methods are materialized fresh on each attribute access, so
+        ``id(handler)`` is unstable; the owning instance's id is not.
+        """
+        owner = getattr(handler, "__self__", handler)
+        qualname = getattr(handler, "__qualname__", None) or repr(handler)
+        return f"{qualname}@{id(owner):#x}"
+
+    @staticmethod
+    def _describe(handler):
+        owner = getattr(handler, "__self__", None)
+        if owner is not None:
+            return f"{handler.__qualname__} of {owner!r}"
+        return repr(handler)
+
+    def register(self, handler, name=None):
         """Install a handler; later registrations run first (like chaining).
 
-        Idempotent: re-registering an installed handler keeps its position
-        and does not duplicate it.  A GMAC instance re-arms its handler on
-        recovery paths, and a duplicated entry would double-handle (and
-        double-charge) every subsequent fault.
+        Idempotent for the *same* handler object: re-registering keeps its
+        position and does not duplicate it (a GMAC instance re-arms its
+        handler on recovery paths, and a duplicated entry would
+        double-handle — and double-charge — every subsequent fault).
+
+        ``name`` labels the registration; registering a *different*
+        handler under a name already in use is a collision, and the error
+        names the colliding handler so the caller can tell exactly which
+        installation it raced with.
         """
+        if name is None:
+            name = self._default_name(handler)
+        existing = self._names.get(name)
+        if existing is not None and existing != handler:
+            raise ValueError(
+                f"signal handler name {name!r} is already registered by "
+                f"{self._describe(existing)}; unregister it before "
+                f"installing {self._describe(handler)}"
+            )
         if handler not in self._handlers:
             self._handlers.insert(0, handler)
+        self._names[name] = handler
         return handler
 
     def unregister(self, handler):
         self._handlers.remove(handler)
+        for name, installed in list(self._names.items()):
+            if installed == handler:
+                del self._names[name]
 
     def deliver(self, info):
         """Deliver one SIGSEGV; raise if nobody claims it."""

@@ -49,6 +49,42 @@ class TraceEvent:
     duration: float
 
 
+@dataclass(frozen=True)
+class CoherenceEvent:
+    """One structured coherence-protocol event.
+
+    The manager, the protocols and the GMAC API emit these into the
+    accounting's optional ``coherence`` sink (see
+    :class:`~repro.analysis.checker.CoherenceModelChecker`), forming an
+    ordered stream from which the whole Figure 6 state machine can be
+    replayed and checked.  ``kind`` is one of:
+
+    * ``alloc`` / ``free`` — region lifetime (``first``/``last`` span all
+      blocks at alloc time);
+    * ``transition`` — blocks ``first..last`` of ``region`` entered
+      ``state`` (the Figure 6 edge itself);
+    * ``flush`` / ``fetch`` — per-block data movement (``detail`` carries
+      ``sync``/``eager`` for flushes and the pending deferred-numerics
+      count for fetches);
+    * ``evict`` — rolling-update eagerly evicted block ``first``;
+    * ``limit`` — the rolling size changed (``detail`` = new limit);
+    * ``bulk`` — a device-side memset/memcpy/peer-DMA made the device
+      copy of blocks ``first..last`` canonical;
+    * ``call`` / ``sync`` — the release/acquire boundaries (``detail`` on
+      ``call`` is ``*`` for unannotated launches or the comma-joined
+      written region names);
+    * ``protocol`` — the active protocol changed (recovery degradation).
+    """
+
+    kind: str
+    time: float
+    region: str = ""
+    first: int = -1
+    last: int = -1
+    state: str = ""
+    detail: str = ""
+
+
 class TraceLog:
     """An optional append-only log of charged intervals."""
 
@@ -85,13 +121,18 @@ class TimeAccounting:
         self.totals = {category: 0.0 for category in Category}
         self.counts = {category: 0 for category in Category}
         self.trace = trace
+        #: Optional sink for :class:`CoherenceEvent` values (an object with
+        #: a ``record(event)`` method).  None — the default — keeps every
+        #: emission site a single attribute test; the sanitizer installs
+        #: its model checker here.
+        self.coherence = None
         self._stack = []
         # Host-side throughput counters (never charged to virtual time, and
         # never part of an experiment outcome): how much simulator work this
         # accounting observed, and how long the host took to simulate it.
         self.fault_events = 0
         self.block_transitions = 0
-        self._host_started = time.perf_counter()
+        self._host_started = time.perf_counter()  # sanitizer: allow[R003]
 
     def charge(self, category, seconds, label=""):
         if seconds < 0:
@@ -129,7 +170,7 @@ class TimeAccounting:
         """Simulator throughput: events per *host* second, plus the
         host-seconds each virtual second costs.  Diagnostic only — host
         wall-clock never feeds virtual time or experiment outcomes."""
-        host_s = max(time.perf_counter() - self._host_started, 1e-9)
+        host_s = max(time.perf_counter() - self._host_started, 1e-9)  # sanitizer: allow[R003]
         virtual_s = self.clock.now
         return {
             "host_s": host_s,

@@ -220,9 +220,20 @@ class Workload(abc.ABC):
         app = Application(machine)
         self.prepare(app)
         start = machine.clock.now
+        sanitizer = None
         if mode == "gmac":
             gmac = app.gmac(protocol=protocol, **(gmac_options or {}))
-            outputs = self.run_gmac(app, gmac)
+            sanitizer = self._sanitizer_for(gmac, protocol)
+            try:
+                outputs = self.run_gmac(app, gmac)
+            except BaseException:
+                # Persist whatever the sanitizer saw (the violations often
+                # explain the crash), but let the original error surface.
+                if sanitizer is not None:
+                    sanitizer.finish(raise_on_violation=False)
+                raise
+            if sanitizer is not None:
+                sanitizer.finish()
         else:
             # "cuda" plus any extra hand-tuned variants a workload defines
             # (e.g. "cuda-db" -> run_cuda_db, the double-buffered baseline).
@@ -250,7 +261,27 @@ class Workload(abc.ABC):
             faults=gmac.fault_count if gmac is not None else 0,
             signals=app.process.signals.delivered,
             verified=verified,
-            extra={"machine": machine, "app": app, "gmac": gmac},
+            extra={
+                "machine": machine, "app": app, "gmac": gmac,
+                **(
+                    {"sanitizer": sanitizer.stats()}
+                    if sanitizer is not None else {}
+                ),
+            },
+        )
+
+    def _sanitizer_for(self, gmac, protocol):
+        """Arm the coherence checker + race detector when sanitizing is on.
+
+        Imported lazily: the common (unsanitized) path never pays for the
+        analysis package.
+        """
+        from repro import analysis
+
+        if not analysis.enabled():
+            return None
+        return analysis.attach_sanitizer(
+            gmac, context=f"{self.name}:{protocol}"
         )
 
     def execute_stats(self, runs=3, mode="gmac", protocol="rolling",

@@ -1,0 +1,61 @@
+"""Model checker coverage of every chaos scenario.
+
+Fault injection stresses exactly the paths the checker models — retried
+DMA, forced evictions, device loss and re-materialisation, protocol
+degradation — so each of the five scenarios must run sanitizer-clean:
+recovery is only correct if it restores *legal* coherence state, not
+merely state that happens to validate.
+"""
+
+import os
+
+import pytest
+
+from repro import analysis
+from repro.experiments.chaos import SCENARIOS, _spec
+from repro.workloads.vecadd import VectorAdd
+
+QUICK_VECADD = dict(elements=256 * 1024)
+
+
+@pytest.fixture(autouse=True)
+def _sanitized():
+    previous = os.environ.get(analysis.ENABLE_ENV)
+    analysis.enable()
+    yield
+    if previous is None:
+        analysis.disable()
+    else:
+        os.environ[analysis.ENABLE_ENV] = previous
+
+
+def test_sanitizer_is_armed_under_the_env_toggle():
+    result = VectorAdd(elements=64 * 1024).execute(
+        mode="gmac", protocol="rolling",
+        gmac_options={"layer": "driver"},
+    )
+    stats = result.extra["sanitizer"]
+    assert stats["events_checked"] > 0
+    assert stats["race_faults_screened"] > 0
+    assert stats["violations"] == 0 and stats["race_violations"] == 0
+
+
+@pytest.mark.parametrize(
+    "scenario,plan_kwargs,recovery_kwargs", SCENARIOS,
+    ids=[scenario for scenario, _, _ in SCENARIOS],
+)
+def test_chaos_scenario_runs_sanitizer_clean(
+    scenario, plan_kwargs, recovery_kwargs
+):
+    # .execute() directly (not run_spec) so no cached, unsanitized outcome
+    # can stand in for the checked run.  SanitizerViolation would
+    # propagate out of execute() and fail the test on its own.
+    outcome = _spec(
+        "vecadd", QUICK_VECADD, plan_kwargs, recovery_kwargs
+    ).execute()
+    assert outcome.verified
+    # Probabilistic scenarios may legitimately inject nothing on a quick
+    # run; only device loss is deterministic (device_lost_at_launch=1).
+    if plan_kwargs is not None and "device_lost_at_launch" in plan_kwargs:
+        assert outcome.injected_faults > 0
+        assert outcome.recovery_stats["device_recoveries"] > 0

@@ -1,0 +1,139 @@
+"""Repo-specific lint: every rule fires, every suppression suppresses."""
+
+import os
+import textwrap
+
+import repro
+from repro.analysis.lint import Finding, lint_file, lint_paths, main
+
+
+def check(tmp_path, source, relative="module.py"):
+    path = tmp_path / os.path.basename(relative)
+    path.write_text(textwrap.dedent(source))
+    return lint_file(str(path), relative)
+
+
+def rules(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestRepoIsClean:
+    def test_whole_package_lints_clean(self):
+        package_root = os.path.dirname(repro.__file__)
+        findings = lint_paths([package_root])
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        package_root = os.path.dirname(repro.__file__)
+        assert main([package_root]) == 0
+        assert "clean" in capsys.readouterr().out
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "[R003]" in out and "1 finding(s)" in out
+
+
+class TestR001DeviceInternals:
+    def test_locate_outside_hw_flags(self, tmp_path):
+        findings = check(tmp_path, "block = gpu.memory._locate(address)\n")
+        assert rules(findings) == ["R001"]
+        assert "_locate" in findings[0].message
+
+    def test_on_observe_assignment_outside_hw_flags(self, tmp_path):
+        findings = check(tmp_path, "memory.on_observe = callback\n")
+        assert rules(findings) == ["R001"]
+
+    def test_inside_hw_is_the_implementation(self, tmp_path):
+        findings = check(
+            tmp_path,
+            "block = self._locate(address)\nself.on_observe = hook\n",
+            relative="hw/memory.py",
+        )
+        assert findings == []
+
+
+class TestR002BytesCopies:
+    def test_bytes_of_subscript_flags(self, tmp_path):
+        findings = check(tmp_path, "chunk = bytes(view[lo:hi])\n")
+        assert rules(findings) == ["R002"]
+
+    def test_plain_bytes_constructor_is_fine(self, tmp_path):
+        assert check(tmp_path, "zeros = bytes(64)\n") == []
+
+    def test_bytes_of_whole_view_is_fine(self, tmp_path):
+        # Only the subscript form reintroduces the partial copy.
+        assert check(tmp_path, "frozen = bytes(view)\n") == []
+
+
+class TestR003Nondeterminism:
+    def test_unseeded_default_rng_flags(self, tmp_path):
+        findings = check(tmp_path, "rng = np.random.default_rng()\n")
+        assert rules(findings) == ["R003"]
+
+    def test_seeded_default_rng_is_fine(self, tmp_path):
+        assert check(tmp_path, "rng = np.random.default_rng(seed)\n") == []
+
+    def test_wall_clock_reads_flag(self, tmp_path):
+        source = """\
+        start = time.perf_counter()
+        stamp = datetime.now()
+        """
+        assert rules(check(tmp_path, source)) == ["R003", "R003"]
+
+    def test_global_random_state_flags(self, tmp_path):
+        findings = check(tmp_path, "jitter = random.uniform(0.0, 1.0)\n")
+        assert rules(findings) == ["R003"]
+
+    def test_seeded_random_instance_is_fine(self, tmp_path):
+        assert check(tmp_path, "rng = random.Random(17)\n") == []
+
+
+class TestR004StateBypass:
+    def test_state_assignment_outside_core_flags(self, tmp_path):
+        findings = check(tmp_path, "block.state = BlockState.DIRTY\n")
+        assert rules(findings) == ["R004"]
+
+    def test_states_subscript_write_flags(self, tmp_path):
+        findings = check(tmp_path, "table.states[lo:hi] = DIRTY_CODE\n")
+        assert rules(findings) == ["R004"]
+
+    def test_table_fill_flags(self, tmp_path):
+        findings = check(tmp_path, "region.table.fill(READ_ONLY_CODE)\n")
+        assert rules(findings) == ["R004"]
+
+    def test_coherence_core_owns_state(self, tmp_path):
+        source = """\
+        block.state = BlockState.DIRTY
+        self.table.states[lo:hi] = DIRTY_CODE
+        table.fill(READ_ONLY_CODE)
+        """
+        assert check(tmp_path, source,
+                     relative="core/protocols/rolling.py") == []
+
+    def test_reading_states_is_not_a_mutation(self, tmp_path):
+        assert check(tmp_path, "dirty = table.states[index] == 1\n") == []
+
+
+class TestSuppression:
+    def test_allow_comment_suppresses_exactly_that_rule(self, tmp_path):
+        findings = check(
+            tmp_path,
+            "chunk = bytes(view[lo:hi])  # sanitizer: allow[R002]\n",
+        )
+        assert findings == []
+
+    def test_allow_comment_for_another_rule_does_not(self, tmp_path):
+        findings = check(
+            tmp_path,
+            "chunk = bytes(view[lo:hi])  # sanitizer: allow[R003]\n",
+        )
+        assert rules(findings) == ["R002"]
+
+    def test_syntax_errors_are_reported_not_swallowed(self, tmp_path):
+        findings = check(tmp_path, "def broken(:\n")
+        assert rules(findings) == ["R000"]
+
+    def test_finding_renders_with_location(self):
+        finding = Finding("core/api.py", 12, "R004", "bypass")
+        assert str(finding) == "core/api.py:12: [R004] bypass"

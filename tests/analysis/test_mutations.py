@@ -1,0 +1,53 @@
+"""Seeded-bug harness: every mutation is caught, no clean run flags."""
+
+import pytest
+
+from repro.analysis.mutations import (
+    MUTATIONS,
+    _scenario_annotated_lazy,
+    _scenario_batch,
+    _scenario_lazy,
+    _scenario_rolling,
+    run_mutation,
+)
+
+
+@pytest.mark.parametrize(
+    "scenario",
+    [_scenario_rolling, _scenario_lazy, _scenario_batch,
+     _scenario_annotated_lazy],
+    ids=lambda fn: fn.__name__.lstrip("_"),
+)
+def test_unmutated_scenarios_are_clean(scenario):
+    violations = scenario()
+    assert violations == [], [
+        f"{v.rule}: {v.message}" for v in violations
+    ]
+
+
+@pytest.mark.parametrize(
+    "mutation", MUTATIONS, ids=lambda mutation: mutation.name
+)
+def test_seeded_bug_is_caught_with_the_expected_rule(mutation):
+    outcome = run_mutation(mutation)
+    assert outcome.caught, (
+        f"{mutation.name} escaped: expected one of {mutation.expected}, "
+        f"saw {outcome.rules or '()'} {outcome.detail}"
+    )
+
+
+def test_mutations_cover_both_sanitizer_sources():
+    """The harness exercises the model checker AND the race detector."""
+    race_rules = {"window-access", "window-io", "window-device-observe"}
+    expected = {rule for mutation in MUTATIONS for rule in mutation.expected}
+    assert expected & race_rules
+    assert expected - race_rules  # checker-side rules too
+
+
+def test_patches_restore_cleanly():
+    """After a mutation run the patched classes are back to stock."""
+    from repro.core.protocols.rolling import RollingUpdate
+
+    original = RollingUpdate.__dict__["_evict"]
+    run_mutation(MUTATIONS[0])
+    assert RollingUpdate.__dict__["_evict"] is original

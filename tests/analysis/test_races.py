@@ -1,0 +1,164 @@
+"""Kernel-window race detector tests against a live GMAC instance."""
+
+import numpy as np
+import pytest
+
+from repro.os.paging import AccessKind
+from repro.util.intervals import Interval
+from repro.analysis import attach_sanitizer
+from repro.analysis.races import HANDLER_NAME, RaceDetector
+
+
+def fill(ptr, nbytes, value=1.0):
+    data = np.full(nbytes // 4, value, dtype=np.float32)
+    ptr.write_bytes(memoryview(data).cast("B"))
+
+
+class TestWindows:
+    def test_clean_call_sync_cycle_has_no_violations(
+        self, app, gmac_factory, scale_kernel
+    ):
+        gmac = gmac_factory("lazy")
+        sanitizer = attach_sanitizer(gmac, "test")
+        data = gmac.alloc(8 * 4096, name="data")
+        fill(data, 8 * 4096)
+        gmac.call(scale_kernel, data=data, n=8 * 1024, factor=2.0)
+        gmac.sync()
+        out = np.empty(8 * 4096, dtype=np.uint8)
+        data.read_into(out)
+        assert sanitizer.finish() == []
+
+    def test_cpu_access_inside_window_flags(
+        self, app, gmac_factory, scale_kernel
+    ):
+        gmac = gmac_factory("lazy")
+        sanitizer = attach_sanitizer(gmac, "test")
+        data = gmac.alloc(8 * 4096, name="data")
+        fill(data, 8 * 4096)
+        gmac.call(scale_kernel, data=data, n=8 * 1024, factor=2.0)
+        # The racing access: the object is released to the kernel.
+        app.process.touch(int(data), 64, AccessKind.WRITE)
+        gmac.sync()
+        violations = sanitizer.finish(raise_on_violation=False)
+        rules = {violation.rule for violation in violations}
+        assert "window-access" in rules
+        [race] = [v for v in violations if v.rule == "window-access"]
+        assert race.region == "data"
+        assert "scale" in race.message  # names the in-flight kernel
+
+    def test_window_closes_at_sync(self, app, gmac_factory, scale_kernel):
+        gmac = gmac_factory("lazy")
+        sanitizer = attach_sanitizer(gmac, "test")
+        data = gmac.alloc(8 * 4096, name="data")
+        fill(data, 8 * 4096)
+        gmac.call(scale_kernel, data=data, n=8 * 1024, factor=2.0)
+        gmac.sync()
+        # Same access as the racing test, but after the barrier: legal.
+        app.process.touch(int(data), 64, AccessKind.WRITE)
+        assert sanitizer.finish() == []
+
+    def test_duplicate_flags_are_deduplicated(self, machine):
+        detector = RaceDetector(machine.clock)
+
+        class FakeRegion:
+            name = "r"
+            interval = Interval(0x1000, 0x2000)
+
+        detector.on_call([FakeRegion()], None, "k")
+        span = Interval(0x1000, 0x1040)
+        detector.notify_io("read", AccessKind.WRITE, span)
+        detector.notify_io("read", AccessKind.WRITE, span)
+        assert len(detector.violations) == 1  # same rule, region, window
+
+    def test_read_of_kernel_read_object_is_benign(self, machine):
+        detector = RaceDetector(machine.clock)
+
+        class In:
+            name = "in"
+            interval = Interval(0x1000, 0x2000)
+
+        class Out:
+            name = "out"
+            interval = Interval(0x3000, 0x4000)
+
+        incoming, outgoing = In(), Out()
+        detector.on_call([incoming, outgoing], [outgoing], "k")
+        # Host READ of an object the kernel only reads: no race.
+        detector.notify_io("write", AccessKind.READ, Interval(0x1000, 0x1040))
+        assert detector.violations == []
+        # Host READ of the kernel's output: torn data.
+        detector.notify_io("write", AccessKind.READ, Interval(0x3000, 0x3040))
+        assert [v.rule for v in detector.violations] == ["window-io"]
+
+    def test_write_escalation_on_back_to_back_calls(self, machine):
+        detector = RaceDetector(machine.clock)
+
+        class Region:
+            name = "r"
+            interval = Interval(0x1000, 0x2000)
+
+        region = Region()
+        detector.on_call([region], [region], "k1")   # written
+        detector.on_call([region], [], "k2")         # read-only for k2
+        # The stronger claim survives: a host read still races.
+        detector.notify_io("write", AccessKind.READ, Interval(0x1000, 0x1010))
+        assert [v.rule for v in detector.violations] == ["window-io"]
+
+
+class TestMediatedPaths:
+    def test_internal_paths_suppress_device_observe(self, machine):
+        detector = RaceDetector(machine.clock)
+
+        class Region:
+            name = "r"
+            interval = Interval(0x1000, 0x2000)
+
+        detector.on_call([Region()], None, "k")
+        detector.enter_internal()
+        detector._observed()
+        detector.exit_internal()
+        assert detector.violations == []
+        detector._observed()  # unmediated: flagged
+        assert [v.rule for v in detector.violations] == ["window-device-observe"]
+
+    def test_observe_outside_window_is_legal(self, machine):
+        detector = RaceDetector(machine.clock)
+        detector._observed()
+        assert detector.violations == []
+
+
+class TestAttachment:
+    def test_attach_registers_named_handler_and_detach_releases(
+        self, app, gmac_factory
+    ):
+        gmac = gmac_factory("lazy")
+        detector = RaceDetector(app.machine.clock)
+        detector.attach(gmac)
+        assert gmac.monitor is detector
+        assert app.process.signals._names[HANDLER_NAME] == detector._on_signal
+        detector.detach()
+        assert gmac.monitor is None
+        assert HANDLER_NAME not in app.process.signals._names
+
+    def test_second_monitor_collides_on_the_handler_name(
+        self, app, gmac_factory
+    ):
+        gmac = gmac_factory("lazy")
+        first = RaceDetector(app.machine.clock)
+        first.attach(gmac)
+        second = RaceDetector(app.machine.clock)
+        with pytest.raises(ValueError, match=HANDLER_NAME):
+            second.attach(gmac)
+        first.detach()
+
+    def test_monitor_screens_faults_without_claiming(
+        self, app, gmac_factory, scale_kernel
+    ):
+        gmac = gmac_factory("rolling")
+        sanitizer = attach_sanitizer(gmac, "test")
+        data = gmac.alloc(8 * 4096, name="data")
+        fill(data, 8 * 4096)  # write faults flow through the monitor
+        assert sanitizer.races.faults_screened > 0
+        gmac.call(scale_kernel, data=data, n=8 * 1024, factor=3.0)
+        gmac.sync()
+        assert sanitizer.finish() == []

@@ -8,6 +8,39 @@ from repro.workloads.base import Application
 from repro.cuda.kernels import Kernel
 
 
+def pytest_addoption(parser):
+    group = parser.getgroup("repro", "ADSM sanitizer")
+    # benchmarks/conftest.py registers its own options with the same
+    # guard; whichever conftest loads first wins, the other passes.
+    try:
+        group.addoption(
+            "--sanitize", action="store_true",
+            help=(
+                "arm the coherence model checker and kernel-window race "
+                "detector on every GMAC workload execution"
+            ),
+        )
+    except ValueError:
+        pass
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sanitize_mode(request):
+    """Honor --sanitize: every Workload.execute gets the dynamic checkers."""
+    from repro import analysis
+
+    try:
+        wanted = request.config.getoption("--sanitize")
+    except ValueError:
+        wanted = False
+    if not wanted:
+        yield
+        return
+    analysis.enable()
+    yield
+    analysis.disable()
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _isolated_result_cache(tmp_path_factory):
     """Point the persistent result cache at a session tmp dir.

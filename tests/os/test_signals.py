@@ -88,3 +88,53 @@ class TestDispatch:
         info = SegvInfo(0xABC, AccessKind.WRITE)
         assert info.address == 0xABC
         assert info.access is AccessKind.WRITE
+
+
+class TestNamedRegistration:
+    def test_name_collision_names_the_incumbent(self, clock):
+        dispatcher = SignalDispatcher(clock)
+
+        def incumbent(info):
+            return True
+
+        def challenger(info):
+            return True
+
+        dispatcher.register(incumbent, name="race-monitor")
+        with pytest.raises(ValueError) as excinfo:
+            dispatcher.register(challenger, name="race-monitor")
+        message = str(excinfo.value)
+        assert "race-monitor" in message
+        assert "incumbent" in message  # the error identifies who holds it
+
+    def test_same_handler_reregisters_under_its_name(self, clock):
+        dispatcher = SignalDispatcher(clock)
+
+        def handler(info):
+            return True
+
+        dispatcher.register(handler, name="race-monitor")
+        assert dispatcher.register(handler, name="race-monitor") is handler
+
+    def test_unregister_releases_the_name(self, clock):
+        dispatcher = SignalDispatcher(clock)
+        first, second = (lambda info: True), (lambda info: True)
+        dispatcher.register(first, name="slot")
+        dispatcher.unregister(first)
+        assert dispatcher.register(second, name="slot") is second
+
+    def test_default_names_distinguish_bound_methods(self, clock):
+        """Two instances' bound methods must not collide (the latent
+        double-register: bound methods materialize fresh per access, so
+        identity-keyed bookkeeping would tangle them)."""
+        dispatcher = SignalDispatcher(clock)
+
+        class Owner:
+            def handle(self, info):
+                return False
+
+        one, two = Owner(), Owner()
+        dispatcher.register(one.handle)
+        dispatcher.register(two.handle)  # distinct owner: no collision
+        assert dispatcher.register(one.handle) is not None  # re-register ok
+        assert len(dispatcher._handlers) == 2
