@@ -51,6 +51,12 @@ REGRESSION_LIMIT = 1.25
 #: anything past 2x means an accidental hot-path coupling.
 SANITIZER_OVERHEAD_LIMIT = 2.0
 
+#: A no-fault run on a multi-device machine may at most double the
+#: single-device host cost: ownership is a bulk-filled column, dispatch
+#: stays O(1), and the watchdog only arms under an installed fault plan,
+#: so anything past 2x means the topology leaked into the hot path.
+FAILOVER_OVERHEAD_LIMIT = 2.0
+
 #: Executed in a fresh interpreter per cold run.  Calibration scales with
 #: the same resources the simulator burns (numpy ufunc dispatch + Python
 #: bytecode), so sweep/calibration is comparable across machines.
@@ -122,6 +128,32 @@ if analysis is not None:
         "overhead_x": checked_s / unchecked_s,
     }
 
+# Multi-device tax: the same workload, classic machine vs a 3-device one,
+# no faults injected.  Older engines (the baseline recording run reuses
+# this child) predate the multi-device topology and omit the sample.
+failover_overhead = None
+try:
+    from repro.hw.machine import multi_device_system
+except ImportError:
+    multi_device_system = None
+if multi_device_system is not None:
+    def timed_vecadd(machine=None):
+        start = time.perf_counter()
+        VectorAdd(seed=13).execute(
+            mode="gmac", protocol="rolling", machine=machine
+        )
+        return time.perf_counter() - start
+
+    single_s = min(timed_vecadd() for _ in range(3))
+    multi_s = min(
+        timed_vecadd(multi_device_system(devices=3)) for _ in range(3)
+    )
+    failover_overhead = {
+        "single_device_s": single_s,
+        "multi_device_s": multi_s,
+        "overhead_x": multi_s / single_s,
+    }
+
 from repro.util.units import MB
 from repro.workloads.parboil import PARBOIL
 
@@ -148,6 +180,7 @@ print(json.dumps({
     "throughput": throughput,
     "kernel_numerics": kernel_numerics,
     "sanitizer_overhead": sanitizer_overhead,
+    "failover_overhead": failover_overhead,
 }))
 """
 
@@ -192,6 +225,8 @@ def _measure(runs):
         "kernel_numerics": samples[-1].get("kernel_numerics"),
         "sanitizer_overhead": samples[-1].get("sanitizer_overhead"),
         "sanitizer_overhead_limit": SANITIZER_OVERHEAD_LIMIT,
+        "failover_overhead": samples[-1].get("failover_overhead"),
+        "failover_overhead_limit": FAILOVER_OVERHEAD_LIMIT,
     }
 
 
@@ -255,6 +290,12 @@ def test_hotpath_cold_sweep_vs_baseline():
         assert overhead["overhead_x"] <= SANITIZER_OVERHEAD_LIMIT, (
             f"sanitizer overhead {overhead['overhead_x']:.2f}x exceeds the "
             f"{SANITIZER_OVERHEAD_LIMIT}x budget"
+        )
+    failover = report.get("failover_overhead")
+    if failover is not None:
+        assert failover["overhead_x"] <= FAILOVER_OVERHEAD_LIMIT, (
+            f"no-fault multi-device overhead {failover['overhead_x']:.2f}x "
+            f"exceeds the {FAILOVER_OVERHEAD_LIMIT}x budget"
         )
 
 

@@ -292,6 +292,50 @@ class CoherenceModelChecker:
         model.device_valid[index] = True
         model.host_valid[index] = False
 
+    def _on_peer(self, event: Any) -> None:
+        """Region migration between devices (peer DMA or host re-route).
+
+        A ``dma:src->dst`` migration moves the device copy verbatim, so
+        every block whose *device* copy is canonical (INVALID claims) must
+        actually hold valid device data — migrating a stale device copy
+        onto the new owner loses the program's current bytes.  A
+        ``host:src->dst`` re-route re-materialises the region from host
+        memory instead, which is only sound when the host copy is valid
+        for every block.
+        """
+        model = self._model(event)
+        if model is None:
+            return
+        lo, hi = event.first, event.last + 1
+        if event.detail.startswith("host:"):
+            stale = np.nonzero(~model.host_valid[lo:hi])[0] + lo
+            if stale.size:
+                self._flag(
+                    event, "peer-stale-host",
+                    f"blocks {_span(stale)} re-routed via host memory but "
+                    "the host copy is stale: device-only data is lost",
+                )
+            # Adopt: the region was flushed whole from host bytes.
+            model.host_valid[lo:hi] = True
+            model.device_valid[lo:hi] = True
+        else:
+            lost = np.nonzero(
+                (model.states[lo:hi] == INVALID_CODE)
+                & ~model.device_valid[lo:hi]
+            )[0] + lo
+            if lost.size:
+                self._flag(
+                    event, "peer-lost-data",
+                    f"blocks {_span(lost)} migrated device-to-device while "
+                    "the device copy is stale: the new owner inherits old "
+                    "bytes the host never validated",
+                )
+            # Adopt: whatever the source device held now lives on the
+            # target; host validity is untouched by a peer copy.
+            model.device_valid[lo:hi][
+                model.states[lo:hi] == INVALID_CODE
+            ] = True
+
     # -- synchronization points -----------------------------------------------------
 
     def _on_call(self, event: Any) -> None:

@@ -71,13 +71,16 @@ class RaceDetector:
         gmac.monitor = self
         gmac.manager.monitor = self
         gmac.process.signals.register(self._on_signal, name=HANDLER_NAME)
-        gmac.layer.gpu.observe_hook = self._observed
+        # Every device is a potential backdoor on multi-device machines.
+        for gpu in gmac.machine.gpus:
+            gpu.observe_hook = self._observed
 
     def detach(self) -> None:
         gmac = self._gmac
         if gmac is None:
             return
-        gmac.layer.gpu.observe_hook = None
+        for gpu in gmac.machine.gpus:
+            gpu.observe_hook = None
         gmac.process.signals.unregister(self._on_signal)
         gmac.manager.monitor = None
         gmac.monitor = None

@@ -24,6 +24,7 @@ from repro.core.layers import AcceleratorLayer
 from repro.core.manager import Manager
 from repro.core.protocols import PROTOCOLS
 from repro.core.interpose import GmacInterposer
+from repro.core.placement import PLACEMENTS, PlacementPolicy
 from repro.core.recovery import RecoveryPolicy
 
 
@@ -77,6 +78,7 @@ class Gmac:
         gpu=None,
         peer_dma=False,
         recovery=None,
+        placement=None,
     ):
         if protocol not in PROTOCOLS:
             raise GmacError(
@@ -94,6 +96,31 @@ class Gmac:
             self.manager, **(protocol_options or {})
         )
         self.manager.protocol = self.protocol
+        #: Placement policy: only meaningful on multi-device machines,
+        #: where regions spread over devices and kernels chase their
+        #: operands.  Accepts a PLACEMENTS name or a PlacementPolicy
+        #: instance; single-device machines ignore it entirely.
+        self.placement = None
+        if getattr(machine, "multi_device", False):
+            if placement is None:
+                placement = "round-robin"
+            if isinstance(placement, str):
+                if placement not in PLACEMENTS:
+                    raise GmacError(
+                        f"unknown placement policy {placement!r}; "
+                        f"pick one of {sorted(PLACEMENTS)}"
+                    )
+                placement = PLACEMENTS[placement](machine)
+            elif not isinstance(placement, PlacementPolicy):
+                raise GmacError(
+                    "placement must be a policy name or a PlacementPolicy"
+                )
+            self.placement = placement
+            self.manager.placement = placement
+        elif placement is not None and not isinstance(placement, str):
+            raise GmacError(
+                "placement policies need a multi-device machine"
+            )
         #: Fault recovery: armed explicitly via ``recovery=`` or
         #: automatically when the machine carries an enabled fault plan.
         #: Stays None on fault-free machines, so every hot path below is
@@ -164,6 +191,10 @@ class Gmac:
         try:
             with self.accounting.measure(Category.LAUNCH, label=kernel.name):
                 self.machine.clock.advance(self.costs.api_call_s)
+                # Multi-device: pick the executing device and migrate any
+                # operand owned elsewhere onto it (peer DMA) BEFORE the
+                # release, so dirty host blocks flush to the right device.
+                owner = self._select_exec_device(written, args)
                 earliest = self.manager.release_for_call(written=written)
                 device_args = {}
                 for key, value in args.items():
@@ -177,7 +208,7 @@ class Gmac:
                     else:
                         device_args[key] = value
                 completion = self.layer.launch(
-                    kernel, device_args, earliest=earliest
+                    kernel, device_args, earliest=earliest, owner=owner
                 )
                 self._pending.append(completion)
                 self.kernel_calls += 1
@@ -195,6 +226,43 @@ class Gmac:
         if monitor is not None:
             monitor.on_call(self.manager.regions(), written, kernel.name)
         return completion
+
+    def _select_exec_device(self, written, args):
+        """The device a call executes on (None = primary, single-device).
+
+        The kernel runs where its first operand lives (written regions
+        first, name-sorted for determinism, then pointer arguments in
+        keyword order); every other operand owned elsewhere migrates to
+        that device over peer DMA first, so a kernel never reads remote
+        accelerator memory.
+        """
+        if self.placement is None:
+            return None
+        ordered = []
+        if written:
+            ordered.extend(sorted(written, key=lambda region: region.name))
+        for value in args.values():
+            if isinstance(value, SharedPtr):
+                region = value.region
+                if region is not None:
+                    ordered.append(region)
+        regions = []
+        seen = set()
+        for region in ordered:
+            if id(region) not in seen:
+                seen.add(id(region))
+                regions.append(region)
+        if not regions:
+            return None
+        target = regions[0].owner
+        if target in self.placement.dead:
+            # The anchor operand sits on a lost device (possible between
+            # the loss and its recovery); re-place it first.
+            target = self.placement.place(regions[0].size)
+            self.manager.migrate_region(regions[0], target)
+        for region in regions[1:]:
+            self.manager.migrate_region(region, target)
+        return target
 
     def sync(self):
         """adsmSync: wait for the accelerator and re-acquire objects.
@@ -227,6 +295,8 @@ class Gmac:
             if monitor is not None:
                 monitor.exit_internal()
         self.manager.note_coherence("sync")
+        if self.recovery is not None:
+            self.recovery.note_sync()
         if monitor is not None:
             monitor.on_sync()
 

@@ -62,7 +62,7 @@ class BlockTable:
 
     __slots__ = (
         "base", "size", "block_size", "n_blocks", "states", "dirty_bits",
-        "_shift",
+        "owners", "_shift",
     )
 
     def __init__(self, base, size, block_size):
@@ -74,6 +74,11 @@ class BlockTable:
         self.n_blocks = -(-size // block_size)
         self.states = np.full(self.n_blocks, READ_ONLY_CODE, dtype=np.uint8)
         self.dirty_bits = np.zeros(self.n_blocks, dtype=bool)
+        # Owner-device column: which accelerator holds each block's device
+        # copy.  Regions migrate whole (blocks share one device range), so
+        # the column is bulk-filled at placement/rehome time and dispatch
+        # stays O(1) — no per-block owner search ever happens.
+        self.owners = np.zeros(self.n_blocks, dtype=np.int16)
         # Power-of-two block sizes (the common case: pages, 256KB rolling
         # blocks, every Figure 11 sweep point) resolve by shift instead of
         # division.

@@ -177,9 +177,10 @@ class GmacInterposer:
             data = handle.read(block.size)
             if not data:
                 return 0
-            self.gmac.layer.gpu.memory.write(block.device_start, data)
+            context = self.gmac.layer.context_for(block.region.owner)
+            context.gpu.memory.write(block.device_start, data)
             self.manager.bytes_to_accelerator += len(data)
-            self.gmac.machine.link.transfer(
+            context.link.transfer(
                 len(data), Direction.H2D, label="peer-dma"
             )
             self._note_bulk(block.region, block.index, "peer-dma")
@@ -223,10 +224,11 @@ class GmacInterposer:
 
         with self.gmac.accounting.measure(Category.IO_WRITE, label="peer-dma"):
             # Borrow the device bytes; the file write is the only copy.
-            data = self.gmac.layer.gpu.memory.view(
+            context = self.gmac.layer.context_for(block.region.owner)
+            data = context.gpu.memory.view(
                 block.device_start, np.uint8, block.size
             )
-            self.gmac.machine.link.transfer(
+            context.link.transfer(
                 len(data), Direction.D2H, label="peer-dma"
             )
             return handle.write(data)
@@ -256,7 +258,8 @@ class GmacInterposer:
                     # Device-side fill; the device copy becomes
                     # canonical and the host copy is discarded.
                     self.gmac.layer.device_memset(
-                        block.device_start, value, block.size
+                        block.device_start, value, block.size,
+                        owner=region.owner,
                     )
                     self._note_bulk(region, block.index, "memset")
                     protocol.discard_block(block)
@@ -312,9 +315,11 @@ class GmacInterposer:
                     host = dst_start + (chunk.start - src_piece.start)
                     manager._attempt_transfer(
                         lambda: self.gmac.layer.to_host(
-                            host, device, chunk.size, sync=True
+                            host, device, chunk.size, sync=True,
+                            owner=src_region.owner,
                         ),
                         label="memcpy:d2h",
+                        device=src_region.owner,
                     )
                 else:
                     default(
@@ -337,6 +342,11 @@ class GmacInterposer:
             if src_region is not None and manager.region_at(
                 chunk_src + chunk.size - 1
             ) is src_region:
+                if src_region.owner != dst_region.owner:
+                    # Cross-device shared -> shared: the d2d fast path only
+                    # exists within one device's memory; stage via host.
+                    default(chunk.start, chunk_src, chunk.size)
+                    continue
                 # Shared -> shared: flush the source, then device-to-device.
                 src_span = Interval.sized(chunk_src, chunk.size)
                 manager.ensure_device_canonical(src_region, src_span)
@@ -344,15 +354,18 @@ class GmacInterposer:
                     device_dst,
                     src_region.device_address_of(chunk_src),
                     chunk.size,
+                    owner=dst_region.owner,
                 )
             elif src_region is None:
                 # Plain -> shared: one DMA instead of fault-by-fault writes.
                 manager.bytes_to_accelerator += chunk.size
                 manager._attempt_transfer(
                     lambda: self.gmac.layer.to_device(
-                        device_dst, chunk_src, chunk.size, sync=True
+                        device_dst, chunk_src, chunk.size, sync=True,
+                        owner=dst_region.owner,
                     ),
                     label="memcpy:h2d",
+                    device=dst_region.owner,
                 )
             else:
                 # The source straddles a shared boundary; keep it simple.

@@ -34,6 +34,18 @@ class AcceleratorLayer:
         self.flavour = flavour
         self.accounting = machine.accounting
         self.driver = DriverContext(machine, process, gpu=gpu)
+        #: One context per device on multi-device machines; every owner
+        #: routes through :meth:`context_for`.  Legacy machines keep the
+        #: single primary context, so owner-less calls are byte-identical
+        #: to the pre-multi-device layer.
+        if getattr(machine, "multi_device", False):
+            self.contexts = [
+                self.driver if candidate is self.driver.gpu
+                else DriverContext(machine, process, gpu=candidate)
+                for candidate in machine.gpus
+            ]
+        else:
+            self.contexts = [self.driver]
         self.init_cost_s = (
             self.RUNTIME_INIT_COST_S if init_cost_s is None else init_cost_s
         )
@@ -42,6 +54,18 @@ class AcceleratorLayer:
     @property
     def gpu(self):
         return self.driver.gpu
+
+    def context_for(self, owner):
+        """The driver context owning device ``owner`` (None = primary)."""
+        if owner is None:
+            return self.driver
+        contexts = self.contexts
+        if owner >= len(contexts):
+            return self.driver
+        return contexts[owner]
+
+    def gpu_for(self, owner):
+        return self.context_for(owner).gpu
 
     def _ensure_initialized(self):
         if not self._initialized:
@@ -53,45 +77,52 @@ class AcceleratorLayer:
 
     # -- memory ---------------------------------------------------------------
 
-    def alloc(self, size):
+    def alloc(self, size, owner=None):
         self._ensure_initialized()
         with self.accounting.measure(Category.CUDA_MALLOC, label="cudaMalloc"):
-            return self.driver.mem_alloc(size)
+            return self.context_for(owner).mem_alloc(size)
 
-    def alloc_at(self, address, size):
+    def alloc_at(self, address, size, owner=None):
         """Placement allocation for virtual-memory accelerators."""
         self._ensure_initialized()
         with self.accounting.measure(Category.CUDA_MALLOC, label="cudaMalloc"):
-            return self.driver.mem_alloc_at(address, size)
+            return self.context_for(owner).mem_alloc_at(address, size)
 
-    def free(self, address):
+    def free(self, address, owner=None):
         with self.accounting.measure(Category.CUDA_FREE, label="cudaFree"):
-            self.driver.mem_free(address)
+            self.context_for(owner).mem_free(address)
 
     # -- DMA (un-accounted; the manager charges Copy where appropriate) --------
 
-    def to_device(self, device, host, size, sync=True):
-        return self.driver.memcpy_h2d(device, host, size, sync=sync)
+    def to_device(self, device, host, size, sync=True, owner=None):
+        return self.context_for(owner).memcpy_h2d(device, host, size, sync=sync)
 
-    def to_host(self, host, device, size, sync=True):
-        return self.driver.memcpy_d2h(host, device, size, sync=sync)
+    def to_host(self, host, device, size, sync=True, owner=None):
+        return self.context_for(owner).memcpy_d2h(host, device, size, sync=sync)
 
-    def device_memset(self, device, value, size):
-        return self.driver.memset_d8(device, value, size)
+    def device_memset(self, device, value, size, owner=None):
+        return self.context_for(owner).memset_d8(device, value, size)
 
-    def device_memcpy(self, destination, source, size):
-        return self.driver.memcpy_d2d(destination, source, size)
+    def device_memcpy(self, destination, source, size, owner=None):
+        return self.context_for(owner).memcpy_d2d(destination, source, size)
 
     def pending_h2d(self):
         """When the last queued host-to-device transfer will finish."""
-        return self.machine.link.resource(Direction.H2D).available_at
+        if len(self.contexts) == 1:
+            return self.machine.link.resource(Direction.H2D).available_at
+        return max(
+            context.link.resource(Direction.H2D).available_at
+            for context in self.contexts
+        )
 
     # -- execution ---------------------------------------------------------------
 
-    def launch(self, kernel, args, earliest=None):
+    def launch(self, kernel, args, earliest=None, owner=None):
         self._ensure_initialized()
         with self.accounting.measure(Category.CUDA_LAUNCH, label=kernel.name):
-            return self.driver.launch(kernel, args, earliest=earliest)
+            return self.context_for(owner).launch(
+                kernel, args, earliest=earliest
+            )
 
     def synchronize(self):
         """Drain the GPU/link timelines (virtual time only).
@@ -100,7 +131,11 @@ class AcceleratorLayer:
         completions, not device bytes.  They replay on the next byte
         access (a coherence fetch, a DMA, a memset, or a kernel view).
         """
-        return self.driver.synchronize()
+        now = self.driver.synchronize()
+        for context in self.contexts:
+            if context is not self.driver and context.alive:
+                now = context.synchronize()
+        return now
 
     def materialize_numerics(self):
         """Force pending deferred kernel numerics to execute now.
@@ -109,4 +144,5 @@ class AcceleratorLayer:
         normal coherence traffic never needs it (every byte observer
         flushes through the device memory's observation barrier).
         """
-        self.driver.gpu.materialize()
+        for context in self.contexts:
+            context.gpu.materialize()

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.util.errors import AllocationError, GmacError
 from repro.util.intervals import Interval, RangeMap
+from repro.hw.interconnect import Direction
 from repro.util.avltree import AvlTree
 from repro.sim.tracing import Category, CoherenceEvent
 from repro.os.paging import Prot
@@ -45,6 +46,10 @@ class Manager:
         #: Optional RecoveryPolicy (installed by Gmac when the machine has
         #: an enabled fault plan).  None keeps every path unchanged.
         self.recovery = None
+        #: Optional PlacementPolicy (installed by Gmac on multi-device
+        #: machines).  None places every region on device 0, which is the
+        #: entire legacy behaviour.
+        self.placement = None
         #: Optional kernel-window race monitor (shared with the owning
         #: Gmac); used only to mark fault-driven coherence work as
         #: GMAC-internal so its device-byte traffic is not misattributed
@@ -62,6 +67,8 @@ class Manager:
         self.bytes_to_accelerator = 0
         self.bytes_to_host = 0
         self.eager_bytes_to_accelerator = 0
+        #: Bytes moved device-to-device over peer DMA (region migrations).
+        self.peer_bytes = 0
         self.fault_count = 0
         self.process.signals.register(self._on_segv)
 
@@ -82,19 +89,24 @@ class Manager:
         if name is None:
             name = f"region{self._allocation_counter}"
         self._allocation_counter += 1
+        owner = (
+            self.placement.place(size) if self.placement is not None else 0
+        )
         with self.accounting.measure(Category.MALLOC, label=name):
             self.clock.advance(self.costs.api_call_s)
             if safe:
-                device_start = self._device_alloc(lambda: self.layer.alloc(size))
+                device_start = self._device_alloc(
+                    lambda: self.layer.alloc(size, owner=owner)
+                )
                 self.clock.advance(self.costs.mmap_s)
                 mapping = self.process.address_space.mmap(size, Prot.RW)
                 host_start = mapping.start
-            elif self.layer.gpu.spec.virtual_memory:
+            elif self.layer.gpu_for(owner).spec.virtual_memory:
                 # Section 4.2's collision-free path: with accelerator
                 # virtual memory, negotiate one virtual range free on BOTH
                 # processors and map it on each side.
                 device_start = self._device_alloc(
-                    lambda: self._alloc_common_range(name, size)
+                    lambda: self._alloc_common_range(name, size, owner)
                 )
                 self.clock.advance(self.costs.mmap_s)
                 self.process.address_space.mmap(
@@ -102,14 +114,16 @@ class Manager:
                 )
                 host_start = device_start
             else:
-                device_start = self._device_alloc(lambda: self.layer.alloc(size))
+                device_start = self._device_alloc(
+                    lambda: self.layer.alloc(size, owner=owner)
+                )
                 self.clock.advance(self.costs.mmap_s)
                 try:
                     self.process.address_space.mmap(
                         size, Prot.RW, fixed_address=device_start
                     )
                 except AllocationError as exc:
-                    self.layer.free(device_start)
+                    self.layer.free(device_start, owner=owner)
                     raise GmacError(
                         f"shared mapping collision for {name}: {exc}; "
                         "use adsmSafeAlloc on this system"
@@ -122,6 +136,7 @@ class Manager:
                 size,
                 self.protocol.block_size_for(size),
             )
+            region.set_owner(owner)
             self._regions.add(region.interval, region)
             table = region.table
             for index in range(table.n_blocks):
@@ -142,7 +157,7 @@ class Manager:
             return self.recovery.retry_alloc(thunk, self.protocol)
         return thunk()
 
-    def _alloc_common_range(self, name, size):
+    def _alloc_common_range(self, name, size, owner=0):
         """Find and claim a virtual range free on the host AND the device.
 
         Walks the accelerator's free holes; inside each, skips past any
@@ -155,12 +170,12 @@ class Manager:
 
         space = self.process.address_space
         padded = page_ceil(size)
-        for hole in self.layer.gpu.memory.free_holes():
+        for hole in self.layer.gpu_for(owner).memory.free_holes():
             candidate = page_ceil(hole.start)
             while candidate + padded <= hole.end:
                 conflict = space.conflict_at(candidate, padded)
                 if conflict is None:
-                    return self.layer.alloc_at(candidate, padded)
+                    return self.layer.alloc_at(candidate, padded, owner=owner)
                 candidate = page_ceil(conflict.end)
         raise GmacError(
             f"no common free virtual range of {size} bytes for {name}"
@@ -185,7 +200,7 @@ class Manager:
             self._regions.remove(host_start)
             self.clock.advance(self.costs.mmap_s)
             self.process.address_space.munmap(region.host_start)
-            self.layer.free(region.device_start)
+            self.layer.free(region.device_start, owner=region.owner)
         return region
 
     def free_all(self):
@@ -316,15 +331,19 @@ class Manager:
 
     # -- data movement ------------------------------------------------------------------
 
-    def _attempt_transfer(self, thunk, label):
+    def _attempt_transfer(self, thunk, label, device=None):
         """One logical transfer; retried with backoff under a fault plan.
 
         Runs inside the caller's Copy measurement, so backoff time (an
         inner Retry charge) is subtracted from Copy and the break-down
-        keeps recovery overhead as its own category.
+        keeps recovery overhead as its own category.  ``device`` names the
+        device the transfer targets so watchdog escalation can declare the
+        right context lost.
         """
         if self.recovery is not None:
-            return self.recovery.retry_transfer(thunk, label=label)
+            return self.recovery.retry_transfer(
+                thunk, label=label, device=device
+            )
         return thunk()
 
     def flush_to_device(self, block, sync=True):
@@ -353,26 +372,32 @@ class Manager:
             with self.accounting.measure(Category.COPY, label=region.flush_label):
                 if self.recovery is None:
                     return self.layer.to_device(
-                        device_start, host_start, size, sync=True
+                        device_start, host_start, size, sync=True,
+                        owner=region.owner,
                     )
                 return self._attempt_transfer(
                     lambda: self.layer.to_device(
                         device_start, host_start, size, sync=True,
+                        owner=region.owner,
                     ),
                     label=region.flush_label,
+                    device=region.owner,
                 )
         self.eager_bytes_to_accelerator += size
         with self.accounting.measure(Category.COPY, label=region.eager_label):
             # Only the issue cost lands on the CPU; the DMA itself overlaps.
             if self.recovery is None:
                 return self.layer.to_device(
-                    device_start, host_start, size, sync=False
+                    device_start, host_start, size, sync=False,
+                    owner=region.owner,
                 )
             return self._attempt_transfer(
                 lambda: self.layer.to_device(
                     device_start, host_start, size, sync=False,
+                    owner=region.owner,
                 ),
                 label=region.eager_label,
+                device=region.owner,
             )
 
     def fetch_to_host(self, block):
@@ -396,21 +421,24 @@ class Manager:
         with self.accounting.measure(Category.COPY, label=region.fetch_label):
             if self.recovery is None:
                 result = self.layer.to_host(
-                    host_start, device_start, size, sync=True
+                    host_start, device_start, size, sync=True,
+                    owner=region.owner,
                 )
             else:
                 result = self._attempt_transfer(
                     lambda: self.layer.to_host(
-                        host_start, device_start, size, sync=True
+                        host_start, device_start, size, sync=True,
+                        owner=region.owner,
                     ),
                     label=region.fetch_label,
+                    device=region.owner,
                 )
         # Sampled *after* the transfer: the D2H read is a materialization
         # barrier, so a non-zero pending count here means deferred kernel
         # numerics were NOT replayed before host bytes were produced.
         self.note_coherence(
             "fetch", region.name, index, index,
-            detail=f"pending={self.layer.gpu.pending_numerics}",
+            detail=f"pending={self.layer.gpu_for(region.owner).pending_numerics}",
         )
         return result
 
@@ -456,6 +484,62 @@ class Manager:
                 self.fetch_index(region, index)
             self.set_index_range(
                 region, run_first, run_last, BlockState.READ_ONLY, Prot.READ
+            )
+
+    def migrate_region(self, region, target, reason="kernel"):
+        """Move a region's device residence to ``target`` (peer DMA).
+
+        Used when a kernel executes on a device that does not own one of
+        its operands, and when readmission rebalances load back onto a
+        recovered device.  The fast path is a device-to-device peer copy
+        timed on BOTH links (D2H on the source's, H2D on the target's — a
+        host-staged peer DMA, the conservative non-P2P model); when the
+        source context is dead the host copy is canonical (the ADSM
+        invariant) and the region re-materializes from host bytes instead.
+        """
+        source = region.owner
+        if source == target:
+            return
+        with self.accounting.measure(Category.COPY, label=region.peer_label):
+            size = region.size
+            new_start = self._device_alloc(
+                lambda: self.layer.alloc(size, owner=target)
+            )
+            src_ctx = self.layer.context_for(source)
+            dst_ctx = self.layer.context_for(target)
+            if src_ctx.alive:
+                # The views are observation barriers: any deferred kernel
+                # numerics on either device replay before bytes move.
+                data = src_ctx.gpu.memory.view(
+                    region.device_start, "u1", region.mapped_size
+                )
+                dst_ctx.gpu.memory.view(
+                    new_start, "u1", region.mapped_size
+                )[:] = data
+                d2h = src_ctx.link.transfer(
+                    size, Direction.D2H, label=region.peer_label
+                )
+                h2d = dst_ctx.link.transfer(
+                    size, Direction.H2D, label=region.peer_label
+                )
+                d2h.wait()
+                h2d.wait()
+                self.peer_bytes += size
+                src_ctx.mem_free(region.device_start)
+                region.rehome(new_start, target)
+                detail = f"dma:{source}->{target}"
+            else:
+                # Dead source: every block's canonical bytes live on the
+                # host (ADSM keeps the directory and the data there), so
+                # re-route through host memory and reset coherence state.
+                region.rehome(new_start, target)
+                for index in range(region.table.n_blocks):
+                    self.flush_index(region, index, sync=True)
+                self.protocol.after_device_recovery([region])
+                detail = f"host:{source}->{target}"
+            self.note_coherence(
+                "peer", region.name, 0, region.table.n_blocks - 1,
+                detail=detail,
             )
 
     # -- fault dispatch -----------------------------------------------------------------
@@ -552,4 +636,5 @@ class Manager:
         self.bytes_to_accelerator = 0
         self.bytes_to_host = 0
         self.eager_bytes_to_accelerator = 0
+        self.peer_bytes = 0
         self.fault_count = 0

@@ -35,10 +35,13 @@ from repro.util.errors import (
     CudaOutOfMemoryError,
     DeviceLostError,
     LaunchError,
-    RetryExhaustedError,
+    RecoveryExhausted,
     TransferError,
 )
 from repro.sim.tracing import Category
+from repro.hw.interconnect import Direction
+from repro.core.blocks import BlockState
+from repro.core.watchdog import Watchdog
 
 
 class RecoveryPolicy:
@@ -55,7 +58,12 @@ class RecoveryPolicy:
                  device_reset_s=20e-3,
                  degrade_threshold=0.15,
                  degrade_min_attempts=24,
-                 checkpoint_before_call="auto"):
+                 checkpoint_before_call="auto",
+                 transfer_deadline_s=2e-3,
+                 kernel_deadline_s=1.0,
+                 recovery_deadline_s=1.0,
+                 readmit_after_s=60e-3,
+                 rebalance_on_readmit=True):
         self.max_transfer_retries = max_transfer_retries
         self.max_launch_retries = max_launch_retries
         self.max_oom_retries = max_oom_retries
@@ -67,7 +75,18 @@ class RecoveryPolicy:
         self.degrade_threshold = degrade_threshold
         self.degrade_min_attempts = degrade_min_attempts
         self.checkpoint_before_call = checkpoint_before_call
+        self.transfer_deadline_s = transfer_deadline_s
+        self.kernel_deadline_s = kernel_deadline_s
+        self.recovery_deadline_s = recovery_deadline_s
+        self.readmit_after_s = readmit_after_s
+        self.rebalance_on_readmit = rebalance_on_readmit
         self.gmac = None
+        #: Virtual-time deadline supervision; built at attach time on
+        #: multi-device machines, None elsewhere (zero cost).
+        self.watchdog = None
+        #: device index -> virtual time at which it may be readmitted.
+        self._lost = {}
+        self._kernel_guard = None
         # Observed (not plan-side) fault pressure, driving degradation.
         self.transfer_attempts = 0
         self.transfer_faults = 0
@@ -76,16 +95,27 @@ class RecoveryPolicy:
             "launch_retries": 0,
             "oom_retries": 0,
             "device_recoveries": 0,
+            "failovers": 0,
+            "readmissions": 0,
+            "rebalances": 0,
             "blocks_rematerialized": 0,
+            "blocks_salvaged": 0,
             "short_read_resumes": 0,
             "backoff_s": 0.0,
             "checkpoint_s": 0.0,
             "rematerialize_s": 0.0,
             "degradations": [],
+            "watchdog_trips": [],
         }
 
     def attach(self, gmac):
         self.gmac = gmac
+        if getattr(gmac.machine, "multi_device", False):
+            self.watchdog = Watchdog(
+                gmac.machine.clock,
+                accounting=gmac.machine.accounting,
+                on_trip=self.stats["watchdog_trips"].append,
+            )
         return self
 
     # -- shared plumbing ------------------------------------------------------
@@ -126,23 +156,43 @@ class RecoveryPolicy:
 
     # -- transient transfer faults -------------------------------------------
 
-    def retry_transfer(self, attempt, label="transfer"):
+    def retry_transfer(self, attempt, label="transfer", device=None):
         """Run one DMA thunk with bounded retry + exponential backoff.
 
         ``attempt`` performs a single transfer attempt (sync or async
         issue) and raises :class:`TransferError` on an injected fault.
+
+        With the watchdog armed (multi-device machines), the escalation
+        ladder applies: retry with backoff while the transfer deadline
+        holds, then declare ``device`` lost — after salvaging its
+        device-only bytes over the still-intact memory (the link wedged,
+        not the die) so the host stays a complete checkpoint.  The raised
+        :class:`DeviceLostError` reaches :meth:`run_call`, which fails the
+        region set over onto survivors.
         """
+        watchdog = self.watchdog
+        guard = None
+        if watchdog is not None:
+            guard = watchdog.arm(
+                "transfer", self.transfer_deadline_s, label=label
+            )
         delay = self.backoff_base_s
         failures = 0
         while True:
             self.transfer_attempts += 1
             try:
-                return attempt()
+                result = attempt()
             except TransferError as error:
                 self.transfer_faults += 1
                 failures += 1
+                if guard is not None and watchdog.expired(guard):
+                    raise self._declare_device_lost(
+                        guard, device, error
+                    ) from error
                 if failures > self.max_transfer_retries:
-                    raise RetryExhaustedError(
+                    if guard is not None:
+                        watchdog.disarm(guard)
+                    raise RecoveryExhausted(
                         f"{label}: still failing after {failures} attempts",
                         attempts=failures, last_error=error,
                         timestamp=self._clock.now, resource=error.resource,
@@ -150,6 +200,55 @@ class RecoveryPolicy:
                 self.stats["transfer_retries"] += 1
                 self._backoff(delay, label=f"backoff:{label}")
                 delay = min(delay * self.backoff_factor, self.max_backoff_s)
+            else:
+                if guard is not None:
+                    watchdog.disarm(guard)
+                return result
+
+    def _declare_device_lost(self, guard, device, error):
+        """Final rung of the transfer escalation ladder."""
+        self.watchdog.trip(guard, "declare-device-lost")
+        context = self.gmac.layer.context_for(device)
+        self._salvage(context)
+        context.alive = False
+        return DeviceLostError(
+            f"{context.gpu.spec.name} declared lost by watchdog "
+            f"after a wedged transfer: {error}",
+            timestamp=self._clock.now, resource=context.gpu.spec.name,
+            device=context.device_index,
+        )
+
+    def _salvage(self, context):
+        """Pull device-only bytes home before abandoning a wedged device.
+
+        A watchdog-declared loss means the *path* to the device wedged;
+        its memory is still intact, so INVALID blocks (kernel outputs the
+        CPU never read) are fetched back first.  This keeps the ADSM
+        invariant — the host is a complete checkpoint — true at the moment
+        the device is marked dead, which is what makes the subsequent
+        host-sourced re-materialisation byte-exact.
+        """
+        manager = self.gmac.manager
+        device = context.device_index
+        context.gpu.materialize()
+        space = self.gmac.process.address_space
+        for region in manager.regions():
+            if region.owner != device:
+                continue
+            table = region.table
+            for index in table.indices_in(BlockState.INVALID):
+                host_start = table.start_of(index)
+                size = table.end_of(index) - host_start
+                device_start = region.device_start + (
+                    host_start - region.host_start
+                )
+                data = context.gpu.memory.view(device_start, "u1", size)
+                # DMA ignores host page protections, like memcpy_d2h.
+                space.view(host_start, "u1", size)[:] = data
+                context.link.transfer(
+                    size, Direction.D2H, label="salvage"
+                ).wait()
+                self.stats["blocks_salvaged"] += 1
 
     # -- device OOM ----------------------------------------------------------
 
@@ -163,7 +262,7 @@ class RecoveryPolicy:
             except CudaOutOfMemoryError as error:
                 failures += 1
                 if failures > self.max_oom_retries:
-                    raise RetryExhaustedError(
+                    raise RecoveryExhausted(
                         f"{label}: device OOM persisted after {failures} "
                         "attempts (eviction and rolling-size shrink did "
                         "not help)",
@@ -185,6 +284,7 @@ class RecoveryPolicy:
         re-issues the whole release+launch sequence (the re-issued
         ``pre_call`` re-applies the protocol's invalidations).
         """
+        self.maybe_readmit()
         self.maybe_degrade()
         if self._should_checkpoint():
             self.checkpoint()
@@ -192,13 +292,13 @@ class RecoveryPolicy:
         launch_failures = 0
         while True:
             try:
-                return gmac._issue_call(kernel, written, args)
+                completion = gmac._issue_call(kernel, written, args)
             except DeviceLostError as error:
                 self.recover_device_loss(error)
             except LaunchError as error:
                 launch_failures += 1
                 if launch_failures > self.max_launch_retries:
-                    raise RetryExhaustedError(
+                    raise RecoveryExhausted(
                         f"launch of {kernel.name!r}: still rejected after "
                         f"{launch_failures} attempts",
                         attempts=launch_failures, last_error=error,
@@ -207,6 +307,80 @@ class RecoveryPolicy:
                 self.stats["launch_retries"] += 1
                 self._backoff(delay, label="backoff:launch")
                 delay = min(delay * self.backoff_factor, self.max_backoff_s)
+            else:
+                if self.watchdog is not None:
+                    self._kernel_guard = self.watchdog.arm(
+                        "kernel-window", self.kernel_deadline_s,
+                        label=kernel.name,
+                    )
+                return completion
+
+    def note_sync(self):
+        """adsmSync reached: close the kernel-window deadline.
+
+        The kernel-window guard is observational — a kernel that outlives
+        its budget has already produced (deferred) results by the time the
+        sync observes it, so the trip is recorded for the chaos report
+        rather than escalated.
+        """
+        guard = self._kernel_guard
+        if guard is None or self.watchdog is None:
+            return
+        self._kernel_guard = None
+        if self.watchdog.expired(guard):
+            self.watchdog.trip(guard, "observe")
+        else:
+            self.watchdog.disarm(guard)
+
+    # -- device loss: failover, readmission, rebalance --------------------------
+
+    def maybe_readmit(self):
+        """Readmit flapped devices whose quarantine has elapsed.
+
+        Checked at call boundaries (the same safe point as degradation).
+        A readmitted device comes back empty and is immediately eligible
+        for placement again; when ``rebalance_on_readmit`` is set, one
+        region migrates onto it right away so a recovered device starts
+        absorbing load without waiting for new allocations.
+        """
+        if not self._lost:
+            return
+        now = self._clock.now
+        due = sorted(
+            device for device, at in self._lost.items() if now >= at
+        )
+        for device in due:
+            del self._lost[device]
+            context = self.gmac.layer.context_for(device)
+            context.revive()
+            self._backoff(self.device_reset_s, label="readmit")
+            if self.gmac.placement is not None:
+                self.gmac.placement.mark_alive(device)
+            self.stats["readmissions"] += 1
+            if self.rebalance_on_readmit:
+                self._rebalance_onto(device)
+
+    def _rebalance_onto(self, device):
+        """Migrate one region from the most-loaded survivor to ``device``."""
+        manager = self.gmac.manager
+        loads = {}
+        for region in manager.regions():
+            loads.setdefault(region.owner, []).append(region)
+        donors = sorted(
+            (owner for owner, regions in loads.items()
+             if owner != device and len(regions) > 1),
+            key=lambda owner: (-len(loads[owner]), owner),
+        )
+        if not donors:
+            return
+        donor = donors[0]
+        region = min(loads[donor], key=lambda candidate: candidate.name)
+        monitor = self._internal()
+        try:
+            manager.migrate_region(region, device, reason="rebalance")
+        finally:
+            self._internal_done(monitor)
+        self.stats["rebalances"] += 1
 
     def _should_checkpoint(self):
         """Whether to pay the checkpoint premium before this call.
@@ -221,9 +395,10 @@ class RecoveryPolicy:
         if self.checkpoint_before_call != "auto":
             return bool(self.checkpoint_before_call)
         plan = self.gmac.machine.faults
-        return (plan is not None
-                and plan.device_lost_at_launch is not None
-                and plan.device_losses == 0)
+        if plan is None:
+            return False
+        scheduled = plan.scheduled_device_losses
+        return scheduled > 0 and plan.device_losses < scheduled
 
     def checkpoint(self):
         """Make every block host-canonical at the call boundary.
@@ -246,15 +421,22 @@ class RecoveryPolicy:
     def recover_device_loss(self, error):
         """Re-materialise the accelerator after a device-lost event.
 
-        Revive the context (device reset), replay every region's
-        allocation at its old device address, flush all blocks from the
-        host-canonical copies, then let the protocol reset its resting
-        states.  Valid precisely because the CPU side holds all coherence
-        state in ADSM — the paper's asymmetry is what makes the host a
-        complete checkpoint.
+        Valid precisely because the CPU side holds all coherence state in
+        ADSM — the paper's asymmetry is what makes the host a complete
+        checkpoint.  Two strategies:
+
+        * **failover** (multi-device machines with a placement policy):
+          the lost device's regions re-home onto survivors chosen by the
+          policy and the system continues degraded; the device becomes
+          eligible for readmission after a quarantine;
+        * **revive in place** (single-device machines, or when no survivor
+          exists): the context is revived (device reset) and every
+          region's allocation is replayed at its old device address.
+
+        Either way, all blocks then flush from the host-canonical copies.
         """
         if self.stats["device_recoveries"] >= self.max_device_recoveries:
-            raise RetryExhaustedError(
+            raise RecoveryExhausted(
                 f"device lost {self.stats['device_recoveries'] + 1} times; "
                 "giving up",
                 attempts=self.stats["device_recoveries"] + 1,
@@ -262,6 +444,71 @@ class RecoveryPolicy:
                 resource=error.resource,
             ) from error
         self.stats["device_recoveries"] += 1
+        device = getattr(error, "device", None)
+        placement = self.gmac.placement
+        if placement is not None and device is not None:
+            placement.mark_dead(device)
+            if placement.alive_devices():
+                return self._failover(device, error)
+            # Sole device (or last survivor) lost: nothing to fail over
+            # onto, so reset it in place like the single-device path.
+            placement.mark_alive(device)
+        return self._revive_in_place(error)
+
+    def _failover(self, device, error):
+        """Re-home the lost device's regions onto survivors."""
+        gmac = self.gmac
+        manager = gmac.manager
+        placement = gmac.placement
+        self.stats["failovers"] += 1
+        guard = None
+        if self.watchdog is not None:
+            guard = self.watchdog.arm(
+                "recovery", self.recovery_deadline_s,
+                label=f"failover:{device}",
+            )
+        start = self._clock.now
+        monitor = self._internal()
+        try:
+            gmac.layer.materialize_numerics()
+            self._backoff(self.device_reset_s, label="failover")
+            regions = sorted(manager.regions(), key=lambda r: r.device_start)
+            manager.note_coherence("protocol", detail="device-recovery")
+            for region in regions:
+                if region.owner != device:
+                    continue
+                target = placement.pick_survivor(device, region.size)
+                new_start = self.retry_alloc(
+                    lambda: gmac.layer.alloc(region.size, owner=target),
+                    gmac.protocol,
+                )
+                region.rehome(new_start, target)
+            # Everything re-materialises from the host checkpoint — also
+            # the survivors' regions, matching the device-recovery fiat
+            # the model checker applies to the whole address space.
+            for region in regions:
+                for block in region.blocks:
+                    manager.flush_to_device(block, sync=True)
+                    self.stats["blocks_rematerialized"] += 1
+            gmac.protocol.after_device_recovery(regions)
+        finally:
+            self._internal_done(monitor)
+        self.stats["rematerialize_s"] += self._clock.now - start
+        self._lost[device] = self._clock.now + self.readmit_after_s
+        if guard is not None:
+            if self.watchdog.expired(guard):
+                self.watchdog.trip(guard, "abort-recovery")
+                raise RecoveryExhausted(
+                    f"failover of device {device} blew its "
+                    f"{self.recovery_deadline_s:g}s recovery deadline",
+                    attempts=self.stats["device_recoveries"],
+                    last_error=error, timestamp=self._clock.now,
+                    resource=error.resource,
+                ) from error
+            self.watchdog.disarm(guard)
+
+    def _revive_in_place(self, error):
+        """Reset the lost device and replay its allocations in place."""
         gmac = self.gmac
         manager = gmac.manager
         start = self._clock.now
@@ -273,7 +520,7 @@ class RecoveryPolicy:
         monitor = self._internal()
         try:
             gmac.layer.materialize_numerics()
-            driver = gmac.layer.driver
+            driver = gmac.layer.context_for(getattr(error, "device", None))
             driver.revive()
             self._backoff(self.device_reset_s, label="device-reset")
             regions = sorted(manager.regions(), key=lambda r: r.device_start)

@@ -32,6 +32,11 @@ class SharedRegion:
         self.block_size = min(page_ceil(block_size), self.mapped_size)
         self.interval = Interval.sized(host_start, self.mapped_size)
         self.table = BlockTable(host_start, self.mapped_size, self.block_size)
+        #: Owning device index: where the region's device range lives.
+        #: Always 0 on single-device machines; multi-device placement (and
+        #: failover rehoming) keeps this and the table's owner column in
+        #: sync via :meth:`set_owner`/:meth:`rehome`.
+        self.owner = 0
         self._blocks = None
         #: Cached (epoch, eq_steps, in_steps) fault-cost arrays; owned by
         #: the manager (see Manager._fault_steps_for).
@@ -41,6 +46,22 @@ class SharedRegion:
         self.flush_label = f"flush:{name}"
         self.eager_label = f"eager:{name}"
         self.fetch_label = f"fetch:{name}"
+        self.peer_label = f"peer:{name}"
+
+    def set_owner(self, owner):
+        """Record the owning device (attribute + table column together)."""
+        self.owner = owner
+        self.table.owners[:] = owner
+
+    def rehome(self, device_start, owner):
+        """Move the region's device residence (migration or failover).
+
+        The host range never moves — only the device twin does, so a
+        rehomed region simply stops being address-aliased, exactly like a
+        region born via ``adsmSafeAlloc``.
+        """
+        self.device_start = device_start
+        self.set_owner(owner)
 
     @property
     def blocks(self):

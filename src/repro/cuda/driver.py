@@ -94,7 +94,10 @@ class DriverContext:
         self.machine = machine
         self.process = process
         self.gpu = gpu if gpu is not None else machine.gpu
-        self.link = machine.link
+        #: This device's index on the machine and the link carrying its DMA
+        #: traffic (``links[0]`` on legacy single-link machines).
+        self.device_index = machine.device_index(self.gpu)
+        self.link = machine.link_for(self.gpu)
         self.clock = machine.clock
         self.default_stream = Stream("default")
         self.allocations = {}
@@ -117,6 +120,7 @@ class DriverContext:
             raise DeviceLostError(
                 f"operation on dead context: {self.gpu.spec.name} was lost",
                 timestamp=self.clock.now, resource=self.gpu.spec.name,
+                device=self.device_index,
             )
 
     def _maybe_fail_transfer(self, direction, size):
@@ -162,6 +166,7 @@ class DriverContext:
             raise DeviceLostError(
                 f"device lost launching {kernel.name!r}",
                 timestamp=self.clock.now, resource=self.gpu.spec.name,
+                device=self.device_index,
             )
         raise LaunchError(
             f"launch of {kernel.name!r} rejected by the driver (transient)",

@@ -57,6 +57,16 @@ def main(argv=None):
         help="ignore the persistent result cache (neither read nor write)",
     )
     parser.add_argument(
+        "--devices",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "accelerator count for experiments with a device-count knob "
+            "(failover); others reject the flag"
+        ),
+    )
+    parser.add_argument(
         "--sanitize",
         action="store_true",
         help=(
@@ -85,7 +95,9 @@ def main(argv=None):
     ids = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
     with executor.cache_context():
         started = time.time()  # sanitizer: allow[R003]
-        stats = executor.prime(expand(ids, quick=args.quick))
+        stats = executor.prime(
+            expand(ids, quick=args.quick, devices=args.devices)
+        )
         if stats["executed"]:
             print(
                 f"(primed {stats['executed']} runs "
@@ -95,7 +107,9 @@ def main(argv=None):
             print()
         for experiment_id in ids:
             started = time.time()  # sanitizer: allow[R003]
-            result = run_experiment(experiment_id, quick=args.quick)
+            result = run_experiment(
+                experiment_id, quick=args.quick, devices=args.devices
+            )
             print(result.render())
             if args.chart:
                 chart = result.chart()

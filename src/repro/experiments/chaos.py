@@ -24,6 +24,7 @@ Scenarios per workload:
 from repro.experiments.common import QUICK_PARAMS, run_spec
 from repro.experiments.spec import RunSpec
 from repro.experiments.result import ExperimentResult
+from repro.util.errors import RecoveryExhausted
 
 EXPERIMENT_ID = "chaos"
 TITLE = "Fault injection sweep: recovery overhead and survival"
@@ -84,12 +85,23 @@ def specs(quick=False):
 def run(quick=False):
     rows = []
     all_verified = True
+    exhausted = []
     for name, params in _workload_params(quick):
         baseline_elapsed = None
         for scenario, plan_kwargs, recovery_kwargs in SCENARIOS:
-            result = run_spec(
-                _spec(name, params, plan_kwargs, recovery_kwargs)
-            )
+            try:
+                result = run_spec(
+                    _spec(name, params, plan_kwargs, recovery_kwargs)
+                )
+            except RecoveryExhausted as error:
+                # Recovery giving up is a result, not a crash: the typed,
+                # picklable error becomes a gave-up row.
+                exhausted.append((name, scenario, error))
+                rows.append([
+                    name, scenario, "gave-up", "-", "-", "-", "-", "-",
+                    "-", "-", f"{error.attempts} attempts",
+                ])
+                continue
             all_verified = all_verified and result.verified
             if scenario == "baseline":
                 baseline_elapsed = result.elapsed
@@ -128,6 +140,11 @@ def run(quick=False):
         "overhead is elapsed-time inflation over the fault-free baseline "
         "of the same workload",
     ]
+    for name, scenario, error in exhausted:
+        notes.append(
+            f"{name}/{scenario} gave up: RecoveryExhausted after "
+            f"{error.attempts} attempts on {error.resource}"
+        )
     if not all_verified:
         notes.append("WARNING: at least one run failed oracle validation")
     return ExperimentResult(

@@ -31,13 +31,17 @@ def _execute_spec(spec):
     return spec.execute()
 
 
-def expand(experiment_ids, quick=False):
+def expand(experiment_ids, quick=False, devices=None):
     """Ordered, deduplicated specs for ``experiment_ids``.
 
     Experiments without a ``specs`` hook (fig2, tab2, porting, motivation
     and other inline/API-level experiments) contribute nothing and simply
-    run serially inside their ``run()``.
+    run serially inside their ``run()``.  ``devices`` is forwarded to the
+    hooks that take it (failover), so a ``--devices`` sweep primes the
+    same specs its tables will read.
     """
+    import inspect
+
     specs = []
     seen = set()
     for experiment_id in experiment_ids:
@@ -45,7 +49,11 @@ def expand(experiment_ids, quick=False):
         hook = getattr(module, "specs", None)
         if hook is None:
             continue
-        for spec in hook(quick=quick):
+        kwargs = {"quick": quick}
+        if (devices is not None
+                and "devices" in inspect.signature(hook).parameters):
+            kwargs["devices"] = devices
+        for spec in hook(**kwargs):
             if spec not in seen:
                 seen.add(spec)
                 specs.append(spec)

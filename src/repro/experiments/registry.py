@@ -1,5 +1,7 @@
 """Experiment registry and dispatch."""
 
+import inspect
+
 from repro.experiments import (
     figure02,
     figure07,
@@ -13,6 +15,7 @@ from repro.experiments import (
     motivation,
     ablations,
     chaos,
+    failover,
 )
 
 #: Experiment id -> module.  Every table and figure in the paper's
@@ -30,14 +33,28 @@ REGISTRY = {
     "motivation": motivation,
     "ablations": ablations,
     "chaos": chaos,
+    "failover": failover,
 }
 
 
-def run_experiment(experiment_id, quick=False):
-    """Run one experiment by id; returns its ExperimentResult."""
+def run_experiment(experiment_id, quick=False, devices=None):
+    """Run one experiment by id; returns its ExperimentResult.
+
+    ``devices`` overrides the accelerator count on experiments that have
+    such a knob (currently ``failover``); passing it to one that does not
+    is an error rather than a silent no-op.
+    """
     if experiment_id not in REGISTRY:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
             f"known: {', '.join(sorted(REGISTRY))}"
         )
-    return REGISTRY[experiment_id].run(quick=quick)
+    module = REGISTRY[experiment_id]
+    kwargs = {"quick": quick}
+    if devices is not None:
+        if "devices" not in inspect.signature(module.run).parameters:
+            raise ValueError(
+                f"experiment {experiment_id!r} has no device-count knob"
+            )
+        kwargs["devices"] = devices
+    return module.run(**kwargs)

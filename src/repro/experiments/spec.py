@@ -32,6 +32,17 @@ WORKLOAD_FACTORIES["vecadd"] = VectorAdd
 WORKLOAD_FACTORIES["stencil3d"] = Stencil3D
 
 
+def _link_presets():
+    """Named per-device link specs usable in a spec's ``link_specs``."""
+    from repro.hw.specs import HYPERTRANSPORT, PCIE_2_0_X16, QPI
+
+    return {
+        "pcie2x16": PCIE_2_0_X16,
+        "hypertransport": HYPERTRANSPORT,
+        "qpi": QPI,
+    }
+
+
 def _as_items(mapping):
     """Normalize an options dict to a sorted, hashable tuple of pairs."""
     if not mapping:
@@ -53,16 +64,22 @@ class RunSpec:
     machine: str = "reference"    # "reference" or "integrated"
     fault_plan: tuple = None      # FaultPlan kwargs (sorted pairs) or None
     recovery: tuple = None        # RecoveryPolicy kwargs, with fault_plan only
+    devices: int = 1              # accelerator count (multi-device when > 1)
+    link_specs: tuple = ()        # per-device link preset names, or ()
+    placement: str = "-"          # placement policy name; "-" when devices=1
 
     @classmethod
     def make(cls, workload, params=None, mode="gmac", protocol="rolling",
              layer="runtime", protocol_options=None, peer_dma=False,
-             machine="reference", fault_plan=None, recovery=None):
+             machine="reference", fault_plan=None, recovery=None,
+             devices=1, link_specs=None, placement=None):
         """Build a normalized spec.
 
         Non-gmac modes ignore every GMAC knob, so those collapse to
         sentinels — a cuda run requested "with" any protocol is the same
-        run, and hashes (and caches) identically.
+        run, and hashes (and caches) identically.  The same applies to the
+        topology knobs: link specs and placement only exist on multi-device
+        machines, so with ``devices=1`` they collapse too.
         """
         if workload not in WORKLOAD_FACTORIES:
             raise KeyError(f"unknown workload {workload!r}")
@@ -71,6 +88,34 @@ class RunSpec:
             layer = "-"
             protocol_options = None
             peer_dma = False
+            devices = 1
+        devices = int(devices)
+        if devices < 1:
+            raise ValueError(f"devices must be >= 1, got {devices}")
+        if devices == 1:
+            link_specs = None
+            placement = "-"
+        else:
+            if machine == "integrated":
+                raise ValueError(
+                    "multi-device runs need discrete accelerators; "
+                    "machine='integrated' only models one"
+                )
+            if placement is None:
+                placement = "round-robin"
+            link_specs = tuple(link_specs or ())
+            presets = _link_presets()
+            for name in link_specs:
+                if name not in presets:
+                    raise KeyError(
+                        f"unknown link preset {name!r}; "
+                        f"pick from {sorted(presets)}"
+                    )
+            if link_specs and len(link_specs) != devices:
+                raise ValueError(
+                    f"link_specs names {len(link_specs)} links for "
+                    f"{devices} devices"
+                )
         if fault_plan is None:
             recovery = None
         return cls(
@@ -84,6 +129,9 @@ class RunSpec:
             machine=machine,
             fault_plan=_as_items(fault_plan) if fault_plan is not None else None,
             recovery=_as_items(recovery) if recovery is not None else None,
+            devices=devices,
+            link_specs=tuple(link_specs or ()),
+            placement=placement,
         )
 
     def key(self):
@@ -91,8 +139,19 @@ class RunSpec:
         return json.dumps(asdict(self), sort_keys=True, default=str)
 
     def _build_machine(self):
-        from repro.hw.machine import reference_system, integrated_system
+        from repro.hw.machine import (
+            integrated_system, multi_device_system, reference_system,
+        )
 
+        if self.devices > 1:
+            presets = _link_presets()
+            link_specs = (
+                [presets[name] for name in self.link_specs]
+                if self.link_specs else None
+            )
+            return multi_device_system(
+                devices=self.devices, link_specs=link_specs
+            )
         if self.machine == "reference":
             return reference_system()
         if self.machine == "integrated":
@@ -115,6 +174,8 @@ class RunSpec:
                 gmac_options["protocol_options"] = dict(self.protocol_options)
             if self.peer_dma:
                 gmac_options["peer_dma"] = True
+            if self.devices > 1:
+                gmac_options["placement"] = self.placement
             if plan is not None:
                 from repro.core.recovery import RecoveryPolicy
 
@@ -146,11 +207,21 @@ class RunSpec:
             phases=dict(getattr(workload, "phases", None) or {}) or None,
             recovery_stats=recovery_stats,
             injected_faults=plan.injected_total if plan is not None else 0,
-            link_bytes_moved={
-                str(direction): count
-                for direction, count in machine.link.bytes_moved.items()
-            },
+            link_bytes_moved=self._aggregate_link_bytes(machine),
+            peer_bytes=(
+                gmac.manager.peer_bytes if gmac is not None else 0
+            ),
         )
+
+    @staticmethod
+    def _aggregate_link_bytes(machine):
+        """Per-direction byte totals summed over every device link."""
+        moved = {}
+        for link in machine.links:
+            for direction, count in link.bytes_moved.items():
+                key = str(direction)
+                moved[key] = moved.get(key, 0) + count
+        return moved
 
 
 @dataclass
@@ -178,6 +249,7 @@ class SpecOutcome:
     recovery_stats: dict = field(default_factory=dict)
     injected_faults: int = 0
     link_bytes_moved: dict = field(default_factory=dict)
+    peer_bytes: int = 0
 
     @property
     def label(self):

@@ -60,7 +60,9 @@ class FaultPlan:
     def __init__(self, seed=0, transfer_fault_rate=0.0,
                  launch_fault_rate=0.0, malloc_fault_rate=0.0,
                  short_read_rate=0.0, oom_at_mallocs=(),
-                 device_lost_at_launch=None):
+                 device_lost_at_launch=None,
+                 device_lost_at_launches=(),
+                 transfer_burst=None):
         for name, rate in (("transfer_fault_rate", transfer_fault_rate),
                            ("launch_fault_rate", launch_fault_rate),
                            ("malloc_fault_rate", malloc_fault_rate),
@@ -84,9 +86,36 @@ class FaultPlan:
                 f"{device_lost_at_launch}"
             )
         self.device_lost_at_launch = device_lost_at_launch
+        # The single-loss and multi-loss (flapping) schedules merge into
+        # one frozenset of 1-based launch-attempt indices.
+        losses = set(device_lost_at_launches)
+        if device_lost_at_launch is not None:
+            losses.add(device_lost_at_launch)
+        if any(index < 1 for index in losses):
+            raise ValueError(
+                "device_lost_at_launches uses 1-based attempt indices, got "
+                f"{sorted(losses)}"
+            )
+        self.device_lost_at_launches = frozenset(losses)
+        if transfer_burst is not None:
+            start, length = transfer_burst
+            if start < 1 or length < 1:
+                raise ValueError(
+                    "transfer_burst is (1-based start attempt, length >= 1), "
+                    f"got {transfer_burst!r}"
+                )
+            transfer_burst = (int(start), int(length))
+        #: Correlated burst: every transfer attempt (H2D and D2H pooled, in
+        #: consultation order) inside the window faults — the "cable went
+        #: bad for a while" failure mode that independent per-attempt rates
+        #: cannot express.
+        self.transfer_burst = transfer_burst
         self._rngs = {site: random.Random(f"{seed}/{site}") for site in SITES}
         self.attempts = {site: 0 for site in SITES}
         self.injected = {site: 0 for site in SITES}
+        #: Transfer attempts pooled over both directions, driving the
+        #: burst window.
+        self.transfer_attempt_total = 0
         self.device_losses = 0
 
     @classmethod
@@ -100,8 +129,14 @@ class FaultPlan:
         return bool(
             self.transfer_fault_rate or self.launch_fault_rate
             or self.malloc_fault_rate or self.short_read_rate
-            or self.oom_at_mallocs or self.device_lost_at_launch is not None
+            or self.oom_at_mallocs or self.device_lost_at_launches
+            or self.transfer_burst is not None
         )
+
+    @property
+    def scheduled_device_losses(self):
+        """How many device-lost events this plan will inject in total."""
+        return len(self.device_lost_at_launches)
 
     # -- decisions ----------------------------------------------------------
 
@@ -109,6 +144,16 @@ class FaultPlan:
         """Outcome for one DMA attempt: None, or :data:`TRANSIENT`."""
         site = SITE_TRANSFER_D2H if d2h else SITE_TRANSFER_H2D
         self.attempts[site] += 1
+        self.transfer_attempt_total += 1
+        if self.transfer_burst is not None:
+            start, length = self.transfer_burst
+            # The window check precedes the rate draw and does not advance
+            # the per-site RNG: the burst is a deterministic overlay and
+            # the streams around it stay exactly where a burst-free plan
+            # would have them.
+            if start <= self.transfer_attempt_total < start + length:
+                self.injected[site] += 1
+                return TRANSIENT
         if self._rngs[site].random() < self.transfer_fault_rate:
             self.injected[site] += 1
             return TRANSIENT
@@ -126,10 +171,10 @@ class FaultPlan:
 
     def launch_fault(self):
         """Outcome for one launch: None, :data:`TRANSIENT`, or
-        :data:`DEVICE_LOST` (scheduled, fires at most once per plan)."""
+        :data:`DEVICE_LOST` (scheduled; flapping plans list several
+        launch-attempt indices and fire once at each)."""
         self.attempts[SITE_LAUNCH] += 1
-        if (self.device_lost_at_launch is not None
-                and self.attempts[SITE_LAUNCH] == self.device_lost_at_launch):
+        if self.attempts[SITE_LAUNCH] in self.device_lost_at_launches:
             self.injected[SITE_LAUNCH] += 1
             self.device_losses += 1
             return DEVICE_LOST
@@ -177,6 +222,13 @@ class FaultPlan:
             parts.append(f"short_read={self.short_read_rate}")
         if self.oom_at_mallocs:
             parts.append(f"oom_at={sorted(self.oom_at_mallocs)}")
-        if self.device_lost_at_launch is not None:
-            parts.append(f"device_lost_at_launch={self.device_lost_at_launch}")
+        if len(self.device_lost_at_launches) == 1:
+            only = next(iter(self.device_lost_at_launches))
+            parts.append(f"device_lost_at_launch={only}")
+        elif self.device_lost_at_launches:
+            parts.append(
+                f"device_lost_at_launches={sorted(self.device_lost_at_launches)}"
+            )
+        if self.transfer_burst is not None:
+            parts.append(f"burst={self.transfer_burst}")
         return f"FaultPlan({', '.join(parts)})"

@@ -73,7 +73,10 @@ class CoherenceEvent:
     * ``call`` / ``sync`` — the release/acquire boundaries (``detail`` on
       ``call`` is ``*`` for unannotated launches or the comma-joined
       written region names);
-    * ``protocol`` — the active protocol changed (recovery degradation).
+    * ``protocol`` — the active protocol changed (recovery degradation);
+    * ``peer`` — a region migrated between devices (``detail`` is
+      ``dma:src->dst`` for a device-to-device copy or ``host:src->dst``
+      for a re-route from host-canonical bytes after a device loss).
     """
 
     kind: str

@@ -98,8 +98,11 @@ class DeviceLostError(FaultedError, CudaError):
     host-canonical blocks can be replayed into a fresh context.
     """
 
-    def __init__(self, message, timestamp=None, resource=None):
+    def __init__(self, message, timestamp=None, resource=None, device=None):
         super().__init__(message)
+        #: Index of the lost device on its machine (None on single-device
+        #: configurations that predate multi-accelerator support).
+        self.device = device
         self._stamp(timestamp, resource)
 
 
@@ -137,3 +140,27 @@ class RetryExhaustedError(FaultedError, ReproError):
         self.attempts = attempts
         self.last_error = last_error
         self._stamp(timestamp, resource)
+
+
+class RecoveryExhausted(RetryExhaustedError):
+    """The recovery machinery itself gave up (device losses, failovers).
+
+    Subclasses :class:`RetryExhaustedError` so existing ``except`` clauses
+    keep working, but is pickle-safe by construction: experiment workers
+    run in fork pools, and chaos/failover reports surface this error
+    across the pool boundary, so reduction drops the (possibly live,
+    unpicklable) ``last_error`` chain and keeps only plain data.
+    """
+
+    def __reduce__(self):
+        return (
+            _rebuild_recovery_exhausted,
+            (self.args[0] if self.args else "", self.attempts,
+             self.timestamp, self.resource),
+        )
+
+
+def _rebuild_recovery_exhausted(message, attempts, timestamp, resource):
+    return RecoveryExhausted(
+        message, attempts=attempts, timestamp=timestamp, resource=resource
+    )

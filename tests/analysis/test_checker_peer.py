@@ -1,0 +1,101 @@
+"""Model-checker rules for ``peer`` events (cross-device migration)."""
+
+from repro.sim.tracing import CoherenceEvent
+from repro.analysis.checker import CoherenceModelChecker
+
+
+def feed(checker, *events):
+    for event in events:
+        checker.record(event)
+    return [violation.rule for violation in checker.violations]
+
+
+def ev(kind, region="r", first=0, last=0, state="", detail="", time=0.0):
+    return CoherenceEvent(
+        kind, time, region=region, first=first, last=last,
+        state=state, detail=detail,
+    )
+
+
+def alloc(region="r", blocks=4):
+    return ev("alloc", region=region, last=blocks - 1, detail="size=16384")
+
+
+def transition(state, first=0, last=0, region="r"):
+    return ev("transition", region=region, first=first, last=last,
+              state=state)
+
+
+class TestPeerDma:
+    def test_dma_migration_of_valid_device_copies_is_clean(self):
+        checker = CoherenceModelChecker()
+        checker.configure("rolling")
+        rules = feed(
+            checker,
+            alloc(blocks=2),
+            transition("invalid", last=1),       # device copy canonical
+            ev("peer", first=0, last=1, detail="dma:0->1"),
+        )
+        assert rules == []
+
+    def test_dma_from_a_recovered_device_loses_data(self):
+        """After device-recovery every device copy is gone by fiat; a DMA
+        migration of an INVALID (device-canonical) block moves garbage."""
+        checker = CoherenceModelChecker()
+        checker.configure("rolling")
+        rules = feed(
+            checker,
+            alloc(blocks=2),
+            transition("invalid", last=1),
+            ev("protocol", region="", detail="device-recovery"),
+            ev("peer", first=0, last=1, detail="dma:0->1"),
+        )
+        assert rules == ["peer-lost-data"]
+
+    def test_dma_adopts_the_device_copy_for_invalid_blocks(self):
+        checker = CoherenceModelChecker()
+        checker.configure("rolling")
+        feed(
+            checker,
+            alloc(blocks=1),
+            transition("invalid"),
+            ev("protocol", region="", detail="device-recovery"),
+            ev("peer", detail="dma:0->1"),
+        )
+        # Adoption: a later fetch of the migrated block is legal again.
+        rules_after = feed(checker, ev("fetch", first=0, detail="pending=0"))
+        assert "fetch-stale-device" not in rules_after[1:]
+
+
+class TestPeerHostReroute:
+    def test_host_reroute_of_host_canonical_region_is_clean(self):
+        checker = CoherenceModelChecker()
+        checker.configure("rolling")
+        rules = feed(
+            checker,
+            alloc(blocks=2),
+            transition("dirty", last=1),          # host copy canonical
+            ev("peer", first=0, last=1, detail="host:0->2"),
+            transition("read-only", last=1),      # both copies now valid
+        )
+        assert rules == []
+
+    def test_host_reroute_with_stale_host_copy_is_flagged(self):
+        checker = CoherenceModelChecker()
+        checker.configure("rolling")
+        rules = feed(
+            checker,
+            alloc(blocks=2),
+            transition("invalid", last=1),        # host copy is stale
+            ev("peer", first=0, last=1, detail="host:1->2"),
+        )
+        assert rules == ["peer-stale-host"]
+
+    def test_unknown_region_is_ignored(self):
+        checker = CoherenceModelChecker()
+        checker.configure("rolling")
+        rules = feed(
+            checker,
+            ev("peer", region="ghost", detail="dma:0->1"),
+        )
+        assert rules == []

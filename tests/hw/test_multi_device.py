@@ -1,0 +1,72 @@
+"""Multi-device machine topology: disjoint heaps, per-device links."""
+
+import pytest
+
+from repro.hw.machine import (
+    DEVICE_BASE_STRIDE,
+    multi_device_system,
+    reference_system,
+)
+from repro.hw.memory import DEVICE_BASE
+from repro.hw.specs import HYPERTRANSPORT, PCIE_2_0_X16, QPI
+
+
+class TestTopology:
+    def test_one_gpu_and_link_per_device(self):
+        machine = multi_device_system(devices=3)
+        assert machine.multi_device
+        assert len(machine.gpus) == 3
+        assert len(machine.links) == 3
+        assert len({id(link) for link in machine.links}) == 3
+
+    def test_device_heaps_are_disjoint_and_strided(self):
+        machine = multi_device_system(devices=3)
+        bases = [gpu.memory.base for gpu in machine.gpus]
+        assert bases == [
+            DEVICE_BASE + index * DEVICE_BASE_STRIDE for index in range(3)
+        ]
+        capacity = machine.gpus[0].spec.memory_bytes
+        assert capacity <= DEVICE_BASE_STRIDE, (
+            "heaps must not overlap the next device's base"
+        )
+
+    def test_legacy_machines_stay_legacy(self):
+        machine = reference_system()
+        assert not machine.multi_device
+        assert len(machine.links) == 1
+        assert machine.link is machine.links[0]
+
+    def test_at_least_one_device(self):
+        with pytest.raises(ValueError):
+            multi_device_system(devices=0)
+
+
+class TestLinkRouting:
+    def test_link_for_routes_per_device(self):
+        machine = multi_device_system(devices=3)
+        for index, gpu in enumerate(machine.gpus):
+            assert machine.device_index(gpu) == index
+            assert machine.link_for(gpu) is machine.links[index]
+
+    def test_foreign_gpu_falls_back_to_primary(self):
+        machine = multi_device_system(devices=2)
+        other = reference_system()
+        assert machine.device_index(other.gpu) == 0
+        assert machine.link_for(other.gpu) is machine.links[0]
+
+    def test_asymmetric_link_specs(self):
+        specs = [PCIE_2_0_X16, QPI, HYPERTRANSPORT]
+        machine = multi_device_system(devices=3, link_specs=specs)
+        assert [link.spec for link in machine.links] == specs
+
+    def test_link_spec_count_must_match(self):
+        with pytest.raises(ValueError):
+            multi_device_system(devices=3, link_specs=[PCIE_2_0_X16])
+
+    def test_per_device_transfers_charge_their_own_link(self):
+        machine = multi_device_system(devices=2)
+        from repro.hw.interconnect import Direction
+
+        machine.links[1].transfer(4096, Direction.H2D, label="t").wait()
+        assert sum(machine.links[1].bytes_moved.values()) == 4096
+        assert sum(machine.links[0].bytes_moved.values()) == 0
