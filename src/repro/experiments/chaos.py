@@ -21,7 +21,7 @@ Scenarios per workload:
   degradation policy, demonstrating the rolling -> lazy downgrade.
 """
 
-from repro.experiments.common import QUICK_PARAMS, run_spec
+from repro.experiments.common import params_for, run_spec
 from repro.experiments.spec import RunSpec
 from repro.experiments.result import ExperimentResult
 from repro.util.errors import RecoveryExhausted
@@ -50,13 +50,13 @@ SCENARIOS = (
 def _workload_params(quick):
     """(name, constructor params) for the swept workloads."""
     yield "vecadd", dict(elements=256 * 1024 if quick else 2 * 1024 * 1024)
-    yield "tpacf", QUICK_PARAMS["tpacf"] if quick else None
+    yield "tpacf", params_for("tpacf", quick=quick)
     # pns makes many kernel calls, so the storm scenario crosses the
     # degradation threshold at a call boundary and the downgrade shows up.
-    yield "pns", QUICK_PARAMS["pns"] if quick else None
+    yield "pns", params_for("pns", quick=quick)
     # mri-q reads its inputs through the interposed libc, exercising
     # short-read resumption.
-    yield "mri-q", QUICK_PARAMS["mri-q"] if quick else None
+    yield "mri-q", params_for("mri-q", quick=quick)
 
 
 def _spec(name, params, plan_kwargs, recovery_kwargs):

@@ -86,9 +86,13 @@ class ExperimentExecutor:
         do).  Outcomes of missing specs are merged in spec order, so the
         resulting cache state is independent of worker scheduling.
         """
+        from repro.util.hostalloc import retain_arena
+
+        retain_arena()
         missing = [spec for spec in specs if common.peek(spec) is None]
         if missing:
             if self.jobs > 1 and len(missing) > 1:
+                self._warm_shared_inputs(missing)
                 outcomes = self._pool_map(missing)
             else:
                 outcomes = [spec.execute() for spec in missing]
@@ -100,6 +104,33 @@ class ExperimentExecutor:
             "executed": len(missing),
         }
         return self.stats
+
+    @staticmethod
+    def _warm_shared_inputs(specs):
+        """Build memoized inputs/oracles in the parent before forking.
+
+        Workload constructors generate their input arrays deterministically
+        into a process-global memo; building each distinct configuration
+        once here means forked workers inherit the arrays as copy-on-write
+        pages — the zero-copy plane — instead of regenerating them (the
+        arrays never cross the pool boundary, so nothing is re-pickled).
+        A configuration that fails to warm simply builds in its worker.
+        """
+        from repro.experiments.spec import WORKLOAD_FACTORIES
+
+        seen = set()
+        for spec in specs:
+            key = (spec.workload, spec.params)
+            if key in seen:
+                continue
+            seen.add(key)
+            try:
+                workload = WORKLOAD_FACTORIES[spec.workload](
+                    **dict(spec.params)
+                )
+                workload._reference_outputs()
+            except Exception:
+                pass
 
     def _pool_map(self, specs):
         # Fork shares the parent's imported modules (cheap workers); fall

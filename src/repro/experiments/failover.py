@@ -33,7 +33,7 @@ single-device row is byte-identical to the classic machine, and the
 bench-hotpath ``failover_overhead`` gate bounds the multi-device tax.
 """
 
-from repro.experiments.common import QUICK_PARAMS, run_spec
+from repro.experiments.common import params_for, run_spec
 from repro.experiments.spec import RunSpec
 from repro.experiments.result import ExperimentResult
 from repro.util.errors import RecoveryExhausted
@@ -81,7 +81,7 @@ def _workload_params(quick):
     yield "vecadd", dict(elements=256 * 1024 if quick else 2 * 1024 * 1024)
     # pns makes many kernel calls, giving the flapping scenario call
     # boundaries at which quarantined devices readmit and rebalance.
-    yield "pns", QUICK_PARAMS["pns"] if quick else None
+    yield "pns", params_for("pns", quick=quick)
 
 
 def _spec(name, params, protocol, plan_kwargs, recovery_kwargs, devices):

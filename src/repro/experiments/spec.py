@@ -18,6 +18,7 @@ recovery statistics) but none of the live simulator objects.
 """
 
 import copy
+import gc
 import json
 from dataclasses import dataclass, field, asdict
 
@@ -67,12 +68,13 @@ class RunSpec:
     devices: int = 1              # accelerator count (multi-device when > 1)
     link_specs: tuple = ()        # per-device link preset names, or ()
     placement: str = "-"          # placement policy name; "-" when devices=1
+    backend: str = "numpy"        # kernel-numerics backend (cuda/backend.py)
 
     @classmethod
     def make(cls, workload, params=None, mode="gmac", protocol="rolling",
              layer="runtime", protocol_options=None, peer_dma=False,
              machine="reference", fault_plan=None, recovery=None,
-             devices=1, link_specs=None, placement=None):
+             devices=1, link_specs=None, placement=None, backend=None):
         """Build a normalized spec.
 
         Non-gmac modes ignore every GMAC knob, so those collapse to
@@ -118,6 +120,12 @@ class RunSpec:
                 )
         if fault_plan is None:
             recovery = None
+        if backend is None:
+            # The backend actually in effect for this process: a numba
+            # sweep must never share cache entries with a numpy one.
+            from repro.cuda.backend import active_backend
+
+            backend = active_backend()
         return cls(
             workload=workload,
             params=_as_items(params),
@@ -132,11 +140,18 @@ class RunSpec:
             devices=devices,
             link_specs=tuple(link_specs or ()),
             placement=placement,
+            backend=backend,
         )
 
     def key(self):
         """Canonical JSON key (stable across processes and sessions)."""
-        return json.dumps(asdict(self), sort_keys=True, default=str)
+        fields = asdict(self)
+        # The numpy backend is the baseline every existing key was minted
+        # under; only a non-default backend joins the key, so historical
+        # cache entries (and golden key fixtures) stay addressable.
+        if fields.get("backend") == "numpy":
+            del fields["backend"]
+        return json.dumps(fields, sort_keys=True, default=str)
 
     def _build_machine(self):
         from repro.hw.machine import (
@@ -192,7 +207,7 @@ class RunSpec:
         recovery_stats = {}
         if gmac is not None and gmac.recovery is not None:
             recovery_stats = copy.deepcopy(gmac.recovery.stats)
-        return SpecOutcome(
+        outcome = SpecOutcome(
             spec=self,
             workload=result.workload,
             mode=result.mode,
@@ -212,6 +227,18 @@ class RunSpec:
                 gmac.manager.peer_bytes if gmac is not None else 0
             ),
         )
+        # The run's object graph is cyclic (signal handlers, observer
+        # hooks, protocol back-pointers), so its tens of megabytes of
+        # backing buffers otherwise linger until a full garbage collection
+        # — and every subsequent run re-pays minor page faults for its
+        # whole working set.  Dropping the graph here and sweeping the
+        # young generations frees the buffers deterministically; with the
+        # retained malloc arena (:mod:`repro.util.hostalloc`) the next
+        # run then reuses warm pages.  A full ``gc.collect()`` would walk
+        # the memo caches too and costs more than it saves.
+        del result, workload, gmac, machine, plan
+        gc.collect(1)
+        return outcome
 
     @staticmethod
     def _aggregate_link_bytes(machine):

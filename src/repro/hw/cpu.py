@@ -7,6 +7,8 @@ costs advance the shared clock directly, so CPU phases naturally overlap
 with any in-flight asynchronous DMA or kernel execution.
 """
 
+from repro.sim.tracing import Category
+
 
 class Cpu:
     """A general-purpose CPU advancing the virtual clock."""
@@ -21,8 +23,6 @@ class Cpu:
     def _charge(self, seconds, label):
         self.clock.advance(seconds)
         if self.accounting is not None:
-            from repro.sim.tracing import Category
-
             self.accounting.charge(Category.CPU, seconds, label=label)
         return seconds
 

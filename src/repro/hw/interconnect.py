@@ -56,6 +56,21 @@ class Link:
             duration, label=label, earliest=earliest
         )
 
+    def transfer_many(self, sizes, direction, label="dma", earliest=None):
+        """Schedule a burst of DMAs; returns their Completions (async).
+
+        Equivalent to calling :meth:`transfer` per size with no clock
+        movement in between, but the byte/count bookkeeping and resource
+        updates are amortized over the burst (streaming pipelines issue
+        dozens of chunks at one instant).
+        """
+        durations = [self.transfer_seconds(size, direction) for size in sizes]
+        self.bytes_moved[direction] += sum(sizes)
+        self.transfer_count[direction] += len(durations)
+        return self._resources[direction].schedule_many(
+            durations, label=label, earliest=earliest
+        )
+
     def faulted_transfer(self, size, direction, label="dma-faulted"):
         """Schedule a DMA attempt that will fail at completion time.
 

@@ -273,6 +273,24 @@ class AddressSpace:
             cursor = span_end
         return None
 
+    def accessible_mapping(self, address, size, kind):
+        """The mapping behind a fully TLB-covered access, or None.
+
+        A soft-TLB hit guarantees the whole range is accessible for
+        ``kind`` *and* lies inside one mapping (only single-mapping runs
+        are cached), so bulk access paths can commit in one slice copy
+        without the prefix walk or a per-chunk closure.
+        """
+        entry = self._tlb.get(kind)
+        if (
+            entry is not None
+            and entry[0] == self._generation
+            and entry[1] <= address
+            and address + size <= entry[2]
+        ):
+            return self.mapping_at(address)
+        return None
+
     def writable_prefix(self, address, size, kind):
         """Byte count from ``address`` accessible for ``kind`` (maybe 0).
 

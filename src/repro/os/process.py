@@ -67,7 +67,7 @@ class Process:
                 offset += accessible
                 continue
             fault_address = cursor
-            deliver(SegvInfo(fault_address, kind))
+            deliver(SegvInfo(fault_address, kind, remaining))
             # The handler must have repaired the faulting page; a second
             # fault at the same byte means it did not.
             if writable_prefix(cursor, remaining, kind) == 0:
@@ -117,14 +117,22 @@ class Process:
         """
         out = np.frombuffer(out, dtype=np.uint8)
         space = self.address_space
+        size = len(out)
+        # Soft-TLB hit: the whole range is readable inside one mapping, so
+        # one slice copy replaces the prefix walk and per-chunk closures.
+        mapping = space.accessible_mapping(address, size, AccessKind.READ)
+        if mapping is not None:
+            lo = address - mapping.interval.start
+            out[:size] = mapping.backing[lo:lo + size]
+            return size
 
         def commit(offset, length):
             out[offset:offset + length] = np.frombuffer(
                 space.peek_view(address + offset, length), dtype=np.uint8
             )
 
-        self._advance_through(address, len(out), AccessKind.READ, commit)
-        return len(out)
+        self._advance_through(address, size, AccessKind.READ, commit)
+        return size
 
     def write(self, address, data):
         """Protection-checked bulk write, committing progressively.
@@ -133,11 +141,18 @@ class Process:
         array); it is viewed, never copied, on its way to the backing.
         """
         view = as_byte_view(data)
+        size = len(view)
+        space = self.address_space
+        mapping = space.accessible_mapping(address, size, AccessKind.WRITE)
+        if mapping is not None and size:
+            lo = address - mapping.interval.start
+            mapping.backing[lo:lo + size] = np.frombuffer(view, dtype=np.uint8)
+            return
 
         def commit(offset, length):
-            self.address_space.poke(address + offset, view[offset:offset + length])
+            space.poke(address + offset, view[offset:offset + length])
 
-        self._advance_through(address, len(view), AccessKind.WRITE, commit)
+        self._advance_through(address, size, AccessKind.WRITE, commit)
 
     def fill(self, address, value, size):
         """Protection-checked memset."""

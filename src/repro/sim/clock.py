@@ -10,6 +10,8 @@ paper's move from a real testbed to a simulator (see DESIGN.md section 2).
 class SimClock:
     """Monotonically advancing virtual time in seconds."""
 
+    __slots__ = ("_now",)
+
     def __init__(self, start=0.0):
         if start < 0:
             raise ValueError(f"clock cannot start at negative time {start}")

@@ -48,6 +48,11 @@ class Completion:
 class Resource:
     """A FIFO device timeline attached to a :class:`SimClock`."""
 
+    __slots__ = (
+        "name", "clock", "_available_at", "busy_time", "operation_count",
+        "completions",
+    )
+
     def __init__(self, name, clock, trace=False):
         self.name = name
         self.clock = clock
@@ -95,6 +100,53 @@ class Resource:
         if self.completions is not None:
             self.completions.append(completion)
         return completion
+
+    def schedule_many(self, durations, label="op", earliest=None):
+        """Schedule a burst of back-to-back operations; do not block.
+
+        Completion-for-completion equivalent to calling :meth:`schedule`
+        in a loop with no intervening clock movement — same timestamps,
+        ``busy_time`` accumulation order, ``operation_count`` and trace
+        rows — while paying the clock lookup and history append once per
+        burst instead of once per operation.  ``label`` and ``earliest``
+        may be scalars (shared by every operation) or sequences indexed
+        per operation.  A negative duration raises after the preceding
+        prefix has been applied, exactly as the loop would leave the
+        resource (a burst interrupted by a fault keeps its prefix).
+        """
+        issued_at = self.clock.now
+        available_at = self._available_at
+        busy_time = self.busy_time
+        shared_label = isinstance(label, str) or label is None
+        shared_earliest = earliest is None or not hasattr(earliest, "__len__")
+        scheduled = []
+        bad = None
+        for index, duration in enumerate(durations):
+            if duration < 0:
+                bad = duration
+                break
+            start = max(issued_at, available_at)
+            bound = earliest if shared_earliest else earliest[index]
+            if bound is not None:
+                start = max(start, bound)
+            finish = start + duration
+            available_at = finish
+            busy_time += duration
+            scheduled.append(Completion(
+                resource=self,
+                label=label if shared_label else label[index],
+                issued_at=issued_at,
+                start=start,
+                finish=finish,
+            ))
+        self._available_at = available_at
+        self.busy_time = busy_time
+        self.operation_count += len(scheduled)
+        if self.completions is not None:
+            self.completions.extend(scheduled)
+        if bad is not None:
+            raise ValueError(f"negative duration {bad} for {label}")
+        return scheduled
 
     def execute(self, duration, label="op", earliest=None):
         """Schedule an operation and block until it finishes."""

@@ -1,0 +1,48 @@
+"""Host allocator tuning for repeated simulation runs.
+
+Every simulated machine allocates tens of megabytes of numpy backing
+stores (mapping backings, device heaps, staging buffers) and frees them
+when the run ends.  glibc serves buffers this large via ``mmap`` and
+returns them to the kernel on ``free``, so every run re-pays minor page
+faults for its whole working set — measured at ~20 ms per vector-add
+run, the single largest host-time cost in the hot-path benchmark.
+
+:func:`retain_arena` flips the allocator to keep those pages resident:
+``mallopt(M_MMAP_MAX, 0)`` routes large allocations through the main
+arena and ``mallopt(M_TRIM_THRESHOLD, INT_MAX)`` stops the arena top
+from being trimmed back.  After the first run warms the arena, repeat
+runs touch only warm pages.  The switch is process-wide, idempotent,
+inherited by forked workers, and silently unavailable off glibc;
+``REPRO_RETAIN_ARENA=0`` disables it.
+"""
+
+import ctypes
+import os
+
+# glibc mallopt parameter numbers (malloc.h).
+_M_TRIM_THRESHOLD = -1
+_M_MMAP_MAX = -4
+
+_applied = False
+
+
+def retain_arena():
+    """Keep freed large buffers in the malloc arena (glibc only).
+
+    Returns True when the tuning is (already) in effect, False when it
+    is disabled via ``REPRO_RETAIN_ARENA=0`` or unavailable on this
+    platform.  Safe to call any number of times.
+    """
+    global _applied
+    if _applied:
+        return True
+    if os.environ.get("REPRO_RETAIN_ARENA", "1") == "0":
+        return False
+    try:
+        libc = ctypes.CDLL(None)
+        ok_trim = libc.mallopt(_M_TRIM_THRESHOLD, ctypes.c_int(2**31 - 1))
+        ok_mmap = libc.mallopt(_M_MMAP_MAX, 0)
+    except (OSError, AttributeError):
+        return False
+    _applied = bool(ok_trim) and bool(ok_mmap)
+    return _applied

@@ -1,0 +1,241 @@
+"""Vectorized fault storms: golden equivalence with per-block dispatch.
+
+``REPRO_FAULT_STORMS=1`` (the default) lets one physical SIGSEGV delivery
+repair a whole contiguous same-state run of blocks; the absorbed faults
+are replayed immediately after with exactly the per-block charge sequence
+(signal overhead, AVL step cost, protocol transition).  These tests pin
+the equivalence at trace-row granularity — including when a fault plan
+kills a PCIe transfer in the middle of a storm, which must split the run
+and charge ``Retry`` precisely as per-block dispatch would.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import manager as manager_module
+from repro.core.recovery import RecoveryPolicy
+from repro.faults import FaultPlan
+from repro.hw.machine import reference_system
+from repro.sim.tracing import Category
+from repro.workloads.base import Application
+from repro.workloads.stencil3d import STENCIL, Stencil3D
+
+PROTOCOLS = ("batch", "lazy", "rolling")
+
+#: Small multi-block configuration: a 128KB volume over 4KB blocks gives
+#: rolling-update 32-block regions (batch and lazy use whole-object
+#: blocks — and accept no granularity options — so their runs are single
+#: blocks and storms degenerate to the per-block path; the equivalence
+#: must hold there too).
+ROLLING_OPTIONS = {"block_size": 4096, "rolling_size": 4}
+
+
+def _protocol_options(protocol):
+    return dict(ROLLING_OPTIONS) if protocol == "rolling" else {}
+
+
+def _workload():
+    return Stencil3D(n=32, steps=2, dump_interval=1)
+
+
+def _execute(protocol, storms, monkeypatch, transfer_burst=None):
+    monkeypatch.setenv("REPRO_FAULT_STORMS", "1" if storms else "0")
+    machine = reference_system(trace=True)
+    plan = None
+    gmac_options = {"protocol_options": _protocol_options(protocol)}
+    if transfer_burst is not None:
+        plan = machine.install_faults(FaultPlan(transfer_burst=transfer_burst))
+        gmac_options["recovery"] = RecoveryPolicy()
+    result = _workload().execute(
+        mode="gmac", protocol=protocol, machine=machine,
+        gmac_options=gmac_options,
+    )
+    return result, machine, plan
+
+
+def _trace_rows(machine):
+    return [
+        (event.category, event.label, event.start, event.duration)
+        for event in machine.accounting.trace.events
+    ]
+
+
+def _outcome_record(result, machine):
+    return {
+        "elapsed": repr(result.elapsed),
+        "breakdown": {k: repr(v) for k, v in result.breakdown.items()},
+        "faults": result.faults,
+        "signals": result.signals,
+        "bytes_to_accelerator": result.bytes_to_accelerator,
+        "bytes_to_host": result.bytes_to_host,
+        "verified": result.verified,
+    }
+
+
+class _StormRecorder:
+    """Wraps ``Manager._replay_storm`` to observe replayed spans and the
+    fault plan's transfer-attempt window inside each replay."""
+
+    def __init__(self, monkeypatch, plan=None):
+        self.spans = []
+        self.attempt_windows = []
+        original = manager_module.Manager._replay_storm
+        recorder = self
+
+        def wrapped(self, region, first, last, access):
+            before = plan.transfer_attempt_total if plan is not None else 0
+            original(self, region, first, last, access)
+            after = plan.transfer_attempt_total if plan is not None else 0
+            recorder.spans.append(last - first + 1)
+            recorder.attempt_windows.append((before, after))
+
+        monkeypatch.setattr(manager_module.Manager, "_replay_storm", wrapped)
+
+
+def _api_run(protocol, storms, monkeypatch, transfer_burst,
+             recorder_factory=None):
+    """Drive the GMAC API directly so a storm contains device fetches.
+
+    Workload dumps pre-fault per block through the interposer, so their
+    storms never fetch mid-replay.  Here the CPU reads the whole kernel
+    output in one access: under rolling-update every block is INVALID, so
+    the replay performs one ``fetch_to_host`` (a PCIe transfer) per
+    absorbed fault — exactly the window a mid-storm fault plan can hit.
+    """
+    monkeypatch.setenv("REPRO_FAULT_STORMS", "1" if storms else "0")
+    machine = reference_system(trace=True)
+    plan = machine.install_faults(FaultPlan(transfer_burst=transfer_burst))
+    recorder = (
+        recorder_factory(monkeypatch, plan=plan) if recorder_factory else None
+    )
+    app = Application(machine)
+    gmac = app.gmac(
+        protocol=protocol,
+        layer="driver",
+        protocol_options=_protocol_options(protocol),
+        recovery=RecoveryPolicy(),
+    )
+    n = 32
+    count = n ** 3
+    vin = gmac.alloc(4 * count, name="vin")
+    vout = gmac.alloc(4 * count, name="vout")
+    vin.write_array(
+        (np.arange(count, dtype=np.float32) / count).reshape(n, n, n)
+    )
+    gmac.call(STENCIL, vin=vin, vout=vout, n=n)
+    gmac.sync()
+    output = vout.read_array("f4", count)
+    record = {
+        "now": repr(machine.clock.now),
+        "totals": {
+            category: repr(value)
+            for category, value in machine.accounting.totals.items()
+        },
+        "faults": gmac.fault_count,
+        "signals": app.process.signals.delivered,
+        "bytes_to_accelerator": gmac.bytes_to_accelerator,
+        "bytes_to_host": gmac.bytes_to_host,
+    }
+    return {
+        "record": record,
+        "trace": _trace_rows(machine),
+        "injected": plan.injected_total,
+        "retry": machine.accounting.totals[Category.RETRY],
+        "recorder": recorder,
+        "output": np.array(output, copy=True),
+    }
+
+
+class TestStormEquivalence:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_traces_identical_with_and_without_storms(
+        self, protocol, monkeypatch
+    ):
+        batched_result, batched_machine, _ = _execute(
+            protocol, storms=True, monkeypatch=monkeypatch
+        )
+        legacy_result, legacy_machine, _ = _execute(
+            protocol, storms=False, monkeypatch=monkeypatch
+        )
+        assert _trace_rows(batched_machine) == _trace_rows(legacy_machine)
+        assert _outcome_record(batched_result, batched_machine) == (
+            _outcome_record(legacy_result, legacy_machine)
+        )
+
+    def test_rolling_storms_actually_batch(self, monkeypatch):
+        recorder = _StormRecorder(monkeypatch)
+        _execute("rolling", storms=True, monkeypatch=monkeypatch)
+        assert recorder.spans, "no storm fired on a multi-block region"
+        assert max(recorder.spans) > 1
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_mid_storm_pcie_fault_matches_per_block_dispatch(
+        self, protocol, monkeypatch
+    ):
+        """A transfer killed mid-storm retries exactly like per-block mode.
+
+        The driven sequence — bulk init write, kernel call, sync, then a
+        single whole-region read of the now-invalid output — makes
+        rolling-update fetch every block *inside* one uncapped read storm.
+        The probe finds a transfer attempt inside a replay; the golden
+        runs then kill precisely that attempt, which must split the storm
+        and agree with per-block dispatch row for row, including the
+        Retry backoff charges.
+        """
+        # Probe: a burst that never fires still counts transfer attempts,
+        # so the recorder can see which attempts land inside a replay.
+        probe = _api_run(
+            protocol, storms=True, monkeypatch=monkeypatch,
+            transfer_burst=(10 ** 9, 1),
+            recorder_factory=_StormRecorder,
+        )
+        windows = [
+            (before, after)
+            for before, after in probe["recorder"].attempt_windows
+            if after > before
+        ]
+        if protocol == "rolling":
+            assert windows, "no transfer attempt landed inside a storm"
+            target = windows[0][0] + 1  # 1-based attempt index
+        else:
+            # Whole-object protocols have single-block runs, so no storm
+            # can contain a transfer; kill an early attempt instead to pin
+            # the degenerate path.
+            target = 2
+        monkeypatch.undo()
+
+        batched = _api_run(
+            protocol, storms=True, monkeypatch=monkeypatch,
+            transfer_burst=(target, 1),
+        )
+        legacy = _api_run(
+            protocol, storms=False, monkeypatch=monkeypatch,
+            transfer_burst=(target, 1),
+        )
+        assert batched["injected"] == 1
+        assert legacy["injected"] == 1
+        assert batched["retry"] > 0, "the injected fault charged no Retry"
+        assert batched["trace"] == legacy["trace"]
+        assert batched["record"] == legacy["record"]
+        np.testing.assert_array_equal(batched["output"], legacy["output"])
+
+
+class TestSanitizerInteraction:
+    def test_sanitized_run_is_clean_and_disables_storms(self, monkeypatch):
+        """``--sanitize`` stays green with storms requested.
+
+        The race monitor needs to judge every fault individually, so the
+        manager suppresses batching while a monitor is armed; the run must
+        still verify and report zero violations.
+        """
+        monkeypatch.setenv("REPRO_FAULT_STORMS", "1")
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        recorder = _StormRecorder(monkeypatch)
+        result = _workload().execute(
+            mode="gmac", protocol="rolling",
+            gmac_options={"protocol_options": _protocol_options("rolling")},
+        )
+        assert result.verified
+        stats = result.extra["sanitizer"]
+        assert stats["violations"] == 0
+        assert recorder.spans == [], "storms fired under the race monitor"

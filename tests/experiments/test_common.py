@@ -63,3 +63,42 @@ class TestQuickParams:
 
     def test_protocol_order_matches_figures(self):
         assert common.PROTOCOL_ORDER == ("batch", "lazy", "rolling")
+
+
+class TestScalePresets:
+    def test_no_override_means_no_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert common.active_scale() is None
+        assert common.params_for("cp", quick=True) == common.QUICK_PARAMS["cp"]
+        assert common.params_for("cp", quick=False) is None
+
+    def test_unknown_scale_is_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(KeyError):
+            common.active_scale()
+
+    @pytest.mark.parametrize("scale", sorted(common.SCALE_PARAMS))
+    def test_scale_overrides_the_quick_flag(self, scale, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", scale)
+        assert common.active_scale() == scale
+        preset = common.SCALE_PARAMS[scale]
+        for name in PARBOIL:
+            assert common.params_for(name, quick=True) == preset.get(name)
+            assert common.params_for(name, quick=False) == preset.get(name)
+
+    def test_paper_params_dominate_quick(self):
+        """Every paper preset is at least as large as its quick twin, so
+        ``--scale paper`` strictly grows the simulated footprint."""
+        for name, quick in common.QUICK_PARAMS.items():
+            paper = common.PAPER_PARAMS[name]
+            assert set(paper) == set(quick), name
+            for key, value in quick.items():
+                assert paper[key] >= value, (name, key)
+
+    def test_paper_scale_changes_the_spec_key(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        quick = common.parboil_spec("cp", "gmac", quick=True)
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        paper = common.parboil_spec("cp", "gmac", quick=True)
+        assert paper.key() != quick.key()
+        assert paper.params == tuple(sorted(common.PAPER_PARAMS["cp"].items()))

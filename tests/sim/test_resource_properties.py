@@ -77,3 +77,110 @@ class TestTimelineInvariants:
         clock.advance(cpu_work)
         completion.wait()
         assert clock.now == pytest.approx(max(transfer, cpu_work))
+
+
+def _completion_rows(resource):
+    return [
+        (c.label, c.issued_at, c.start, c.finish)
+        for c in resource.completions
+    ]
+
+
+class TestScheduleManyEquivalence:
+    """``schedule_many`` must be byte-for-byte the loop it replaces.
+
+    Exact ``==`` on every float: the bulk path must accumulate busy time
+    and compute start/finish in the same order as the loop, so even the
+    last ulp of every timestamp and counter agrees.
+    """
+
+    _bursts = st.lists(st.floats(0.0, 1.0), max_size=24)
+    _prefix = st.lists(st.floats(0.0, 1.0), min_size=0, max_size=4)
+
+    @staticmethod
+    def _pair(prefix_work):
+        """Two resources driven to the same (possibly busy) starting state."""
+        resources = []
+        for _ in range(2):
+            clock = SimClock()
+            resource = Resource("dma", clock, trace=True)
+            for duration in prefix_work:
+                resource.schedule(duration, label="prefix")
+            clock.advance(sum(prefix_work) / 2 if prefix_work else 0.0)
+            resources.append(resource)
+        return resources
+
+    @given(bursts=_bursts, prefix=_prefix, data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_looped_schedule(self, bursts, prefix, data):
+        looped, bulk = self._pair(prefix)
+        labels = data.draw(
+            st.one_of(
+                st.just("op"),
+                st.lists(
+                    st.sampled_from(["dma", "stream", "flush"]),
+                    min_size=len(bursts), max_size=len(bursts),
+                ),
+            )
+        )
+        earliest = data.draw(
+            st.one_of(
+                st.none(),
+                st.floats(0.0, 2.0),
+                st.lists(
+                    st.one_of(st.none(), st.floats(0.0, 2.0)),
+                    min_size=len(bursts), max_size=len(bursts),
+                ),
+            )
+        )
+        shared_label = isinstance(labels, str)
+        shared_earliest = earliest is None or isinstance(earliest, float)
+        for index, duration in enumerate(bursts):
+            looped.schedule(
+                duration,
+                label=labels if shared_label else labels[index],
+                earliest=earliest if shared_earliest else earliest[index],
+            )
+        scheduled = bulk.schedule_many(bursts, label=labels, earliest=earliest)
+
+        assert len(scheduled) == len(bursts)
+        assert _completion_rows(bulk) == _completion_rows(looped)
+        assert bulk.busy_time == looped.busy_time
+        assert bulk.operation_count == looped.operation_count
+        assert bulk.available_at == looped.available_at
+
+    @given(prefix=_prefix)
+    @settings(max_examples=30, deadline=None)
+    def test_zero_length_burst_is_a_noop(self, prefix):
+        looped, bulk = self._pair(prefix)
+        assert bulk.schedule_many([]) == []
+        assert _completion_rows(bulk) == _completion_rows(looped)
+        assert bulk.busy_time == looped.busy_time
+        assert bulk.operation_count == looped.operation_count
+        assert bulk.available_at == looped.available_at
+
+    @given(
+        good=st.lists(st.floats(0.0, 1.0), max_size=8),
+        tail=st.lists(st.floats(0.0, 1.0), max_size=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interrupted_burst_keeps_exactly_the_loop_prefix(
+        self, good, tail
+    ):
+        """A mid-burst failure commits the prefix, like the loop would.
+
+        Models a fault plan killing a transfer mid-storm: both paths
+        raise on the poisoned operation and leave the resource exactly
+        as far along as the operations that preceded it.
+        """
+        burst = good + [-0.5] + tail
+        looped, bulk = self._pair([])
+        with pytest.raises(ValueError):
+            for duration in burst:
+                looped.schedule(duration)
+        with pytest.raises(ValueError):
+            bulk.schedule_many(burst)
+        assert _completion_rows(bulk) == _completion_rows(looped)
+        assert bulk.busy_time == looped.busy_time
+        assert bulk.operation_count == looped.operation_count
+        assert bulk.available_at == looped.available_at
