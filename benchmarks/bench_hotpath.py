@@ -200,51 +200,16 @@ print(json.dumps({
 
 
 def environment_stamp():
-    """Provenance for benchmark artifacts: commit, devices, backend, scale.
+    """Provenance stamp (see :func:`repro.experiments.result.environment_stamp`).
 
-    Regression comparisons are only meaningful between runs of the same
-    engine configuration; the stamp records the configuration a number was
-    measured under so a mismatch is visible in the artifact itself.
+    The stamp itself lives with the experiment layer so every benchmark
+    artifact (``BENCH_hotpath.json``, ``BENCH_sweep.json``) records the
+    same configuration block.
     """
-    import subprocess as sp
-
-    try:
-        commit = sp.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True, text=True, cwd=ROOT, check=True,
-        ).stdout.strip()
-    except (OSError, sp.CalledProcessError):
-        commit = "unknown"
     sys.path.insert(0, str(ROOT / "src"))
-    try:
-        from repro.cuda.backend import active_backend
+    from repro.experiments.result import environment_stamp as stamp
 
-        backend = active_backend()
-    except ImportError:
-        backend = "numpy"
-    try:
-        from repro.experiments.common import active_scale
-
-        # No REPRO_SCALE override means the quick presets are in effect.
-        scale = active_scale() or "quick"
-    except ImportError:
-        scale = "quick"
-    try:
-        from repro.hw.specs import GTX280, OPTERON_2222, PCIE_2_0_X16
-
-        devices = {
-            "cpu": OPTERON_2222.name,
-            "gpu": GTX280.name,
-            "link": PCIE_2_0_X16.name,
-        }
-    except ImportError:
-        devices = None
-    return {
-        "commit": commit,
-        "backend": backend,
-        "scale": scale,
-        "devices": devices,
-    }
+    return stamp()
 
 
 def run_cold_sweep(repo_root=ROOT):

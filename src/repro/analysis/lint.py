@@ -1,6 +1,6 @@
 """Repo-specific static lint (run as ``python -m repro.analysis.lint``).
 
-Four rules, each encoding an invariant the simulator depends on but no
+Five rules, each encoding an invariant the simulator depends on but no
 general-purpose linter knows about:
 
 ``R001``
@@ -32,6 +32,14 @@ general-purpose linter knows about:
     event stream stays complete — a bypassed mutation is invisible to
     the model checker.
 
+``R005``
+    No ``multiprocessing.Pool`` construction outside the executor engine
+    (``experiments/executor.py``, ``experiments/pool.py``).  Ad-hoc pools
+    fork before the parent pre-warm, dodge the persistent engine's
+    shared-memory plane and crash supervision, and their sweeps never
+    reach the result caches deterministically — all fan-out goes through
+    :class:`~repro.experiments.executor.ExperimentExecutor`.
+
 A finding is suppressed by a trailing ``# sanitizer: allow[R00X]``
 comment on the offending line; every suppression is deliberate and
 greppable.
@@ -51,6 +59,7 @@ RULES: Dict[str, str] = {
     "R002": "bytes() copy where a buffer view would do",
     "R003": "unseeded randomness or wall-clock in simulation code",
     "R004": "protocol block-state mutation outside the coherence core",
+    "R005": "multiprocessing pool constructed outside the executor engine",
 }
 
 _ALLOW_RE = re.compile(r"#\s*sanitizer:\s*allow\[(R\d{3})\]")
@@ -66,6 +75,8 @@ _WALL_CLOCK = {
 _STATE_CORE = (
     "core/protocols/", "core/manager.py", "core/blocks.py", "core/region.py",
 )
+#: The only modules allowed to build worker pools: the sweep engine.
+_POOL_CORE = ("experiments/executor.py", "experiments/pool.py")
 
 
 @dataclass(frozen=True)
@@ -92,6 +103,7 @@ class _Visitor(ast.NodeVisitor):
         self.relative = relative
         self.in_hw = relative.startswith("hw/")
         self.in_state_core = relative.startswith(_STATE_CORE)
+        self.in_pool_core = relative in _POOL_CORE
         self.findings: List[tuple[int, str, str]] = []
 
     def _flag(self, node: ast.AST, rule: str, message: str) -> None:
@@ -150,6 +162,7 @@ class _Visitor(ast.NodeVisitor):
         self._check_bytes_copy(node)
         self._check_nondeterminism(node)
         self._check_table_fill(node)
+        self._check_pool_construction(node)
         self.generic_visit(node)
 
     def _check_bytes_copy(self, node: ast.Call) -> None:
@@ -210,6 +223,23 @@ class _Visitor(ast.NodeVisitor):
                 node, "R004",
                 f"table.{func.attr}(...) bypasses the manager; use "
                 "set_states_only / set_index_range",
+            )
+
+    # R005 ------------------------------------------------------------------------
+
+    def _check_pool_construction(self, node: ast.Call) -> None:
+        """Flag ``multiprocessing.Pool(...)`` / ``context.Pool(...)`` /
+        bare ``Pool(...)`` anywhere outside the executor engine."""
+        if self.in_pool_core:
+            return
+        func = node.func
+        named_pool = isinstance(func, ast.Name) and func.id == "Pool"
+        attr_pool = isinstance(func, ast.Attribute) and func.attr == "Pool"
+        if named_pool or attr_pool:
+            self._flag(
+                node, "R005",
+                "worker pools are the executor engine's job; run sweeps "
+                "through ExperimentExecutor (experiments/executor.py)",
             )
 
 

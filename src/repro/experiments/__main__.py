@@ -62,6 +62,18 @@ def main(argv=None):
         help="worker processes for the simulation sweep (default: serial)",
     )
     parser.add_argument(
+        "--pool",
+        choices=("persistent", "fork", "serial"),
+        default="persistent",
+        help=(
+            "sweep engine: 'persistent' (worker pool forked once, "
+            "shared-memory result plane, cost-aware dispatch), 'fork' "
+            "(legacy one-shot multiprocessing.Pool baseline), or 'serial' "
+            "(inline).  Engine configuration only — results and cache "
+            "entries are byte-identical across all three"
+        ),
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="ignore the persistent result cache (neither read nor write)",
@@ -102,42 +114,50 @@ def main(argv=None):
 
         analysis.enable()
         args.no_cache = True
-    executor = ExperimentExecutor(jobs=args.jobs, use_cache=not args.no_cache)
-    if args.experiment == "report":
-        from repro.experiments.report import SECTION_ORDER, write_report
+    executor = ExperimentExecutor(
+        jobs=args.jobs, use_cache=not args.no_cache, pool=args.pool,
+    )
+    try:
+        if args.experiment == "report":
+            from repro.experiments.report import SECTION_ORDER, write_report
 
-        with executor.cache_context():
-            executor.prime(expand(SECTION_ORDER, quick=args.quick))
-            write_report(args.output, quick=args.quick)
-        print(f"wrote {args.output}")
-        return 0
-    ids = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
-    with executor.cache_context():
-        started = time.time()  # sanitizer: allow[R003]
-        stats = executor.prime(
-            expand(ids, quick=args.quick, devices=args.devices)
+            with executor.cache_context():
+                executor.prime(expand(SECTION_ORDER, quick=args.quick))
+                write_report(args.output, quick=args.quick)
+            print(f"wrote {args.output}")
+            return 0
+        ids = (
+            sorted(REGISTRY) if args.experiment == "all"
+            else [args.experiment]
         )
-        if stats["executed"]:
-            print(
-                f"(primed {stats['executed']} runs "
-                f"({stats['reused']} cached) with {args.jobs} worker(s) "
-                f"in {time.time() - started:.1f}s wall)"  # sanitizer: allow[R003]
-            )
-            print()
-        for experiment_id in ids:
+        with executor.cache_context():
             started = time.time()  # sanitizer: allow[R003]
-            result = run_experiment(
-                experiment_id, quick=args.quick, devices=args.devices
+            stats = executor.prime(
+                expand(ids, quick=args.quick, devices=args.devices)
             )
-            print(result.render())
-            if args.chart:
-                chart = result.chart()
-                if chart is not None:
-                    print()
-                    print(chart)
-            print(f"(regenerated in {time.time() - started:.1f}s wall)")  # sanitizer: allow[R003]
-            print()
-    return 0
+            if stats["executed"]:
+                print(
+                    f"(primed {stats['executed']} runs "
+                    f"({stats['reused']} cached) with {args.jobs} worker(s) "
+                    f"in {time.time() - started:.1f}s wall)"  # sanitizer: allow[R003]
+                )
+                print()
+            for experiment_id in ids:
+                started = time.time()  # sanitizer: allow[R003]
+                result = run_experiment(
+                    experiment_id, quick=args.quick, devices=args.devices
+                )
+                print(result.render())
+                if args.chart:
+                    chart = result.chart()
+                    if chart is not None:
+                        print()
+                        print(chart)
+                print(f"(regenerated in {time.time() - started:.1f}s wall)")  # sanitizer: allow[R003]
+                print()
+        return 0
+    finally:
+        executor.close()
 
 
 if __name__ == "__main__":

@@ -9,12 +9,21 @@ Editing the simulator therefore invalidates every entry at once, while
 editing experiment table/rendering code (which only projects outcomes)
 leaves the cache warm.
 
-Writes are atomic (temp file + rename), so concurrent sweeps sharing a
-cache directory never observe torn entries.
+Writes are atomic (temp file + rename) and every rename is verified after
+the fact — the visible file must load back as an entry for the spec being
+written — so concurrent sweeps (or two pool workers finishing the same
+deduped spec) sharing a cache directory never observe torn entries.
+
+Alongside the outcome pickles the cache keeps **timing metadata**
+(``timings.json``): the last recorded host-seconds per spec, keyed by the
+spec key *alone* — no source fingerprint — so the cost-aware scheduler can
+still rank specs after a simulator edit invalidates every outcome.  A
+stale timing can only misorder a queue, never corrupt a result.
 """
 
 import functools
 import hashlib
+import json
 import os
 import pickle
 import tempfile
@@ -86,7 +95,16 @@ class ResultCache:
         return entry.get("outcome")
 
     def put(self, spec, outcome):
-        """Persist ``outcome`` atomically; concurrent writers are safe."""
+        """Persist ``outcome`` atomically; concurrent writers are safe.
+
+        Each writer stages into its own temp file and renames, so two
+        workers finishing the same deduped spec race only at the rename —
+        whichever entry wins is a complete pickle for the same key.  The
+        post-rename verify re-reads whatever is visible and accepts any
+        valid entry for this spec (ours or the concurrent winner's); a
+        failed verify rewrites once, then raises instead of leaving a
+        corrupt entry behind.
+        """
         path = self._path(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
@@ -94,6 +112,17 @@ class ResultCache:
             "fingerprint": source_fingerprint(),
             "outcome": outcome,
         }
+        for attempt in (1, 2):
+            self._write_atomic(path, entry)
+            if self._verify_entry(path, spec):
+                return
+        raise OSError(
+            f"result-cache entry {path.name} failed post-rename "
+            "verification twice; refusing to leave a corrupt entry"
+        )
+
+    @staticmethod
+    def _write_atomic(path, entry):
         fd, tmp_name = tempfile.mkstemp(
             dir=str(path.parent), suffix=".tmp"
         )
@@ -107,6 +136,70 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def _verify_entry(self, path, spec):
+        """The visible entry loads and fingerprints as one for ``spec``."""
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return False
+        return (
+            isinstance(entry, dict)
+            and entry.get("key") == spec.key()
+            and entry.get("fingerprint") == source_fingerprint()
+            and entry.get("outcome") is not None
+        )
+
+    # -- timing metadata (cost-aware scheduling) ------------------------------
+
+    _TIMINGS_NAME = "timings.json"
+
+    @staticmethod
+    def timing_key(spec):
+        """Digest of the spec key alone (deliberately fingerprint-free).
+
+        Timings are scheduling *hints*: surviving a source edit is the
+        point (the next cold sweep after an edit is exactly when a good
+        dispatch order pays), and a stale hint can only misorder the
+        queue.  Outcome entries, by contrast, stay fingerprint-addressed.
+        """
+        return hashlib.sha256(spec.key().encode()).hexdigest()
+
+    def timings(self):
+        """Recorded host-seconds by :meth:`timing_key` (empty on any rot)."""
+        try:
+            loaded = json.loads(
+                (self.root / self._TIMINGS_NAME).read_text()
+            )
+        except (OSError, ValueError):
+            return {}
+        return loaded if isinstance(loaded, dict) else {}
+
+    def record_timings(self, seconds_by_key):
+        """Merge ``{timing_key: host_seconds}`` and rewrite atomically."""
+        if not seconds_by_key:
+            return
+        merged = self.timings()
+        for key, seconds in seconds_by_key.items():
+            merged[key] = round(float(seconds), 6)
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(merged, handle, sort_keys=True)
+            os.replace(tmp_name, self.root / self._TIMINGS_NAME)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def expected_cost(self, spec):
+        """The last recorded host-seconds for ``spec``, or None."""
+        return self.timings().get(self.timing_key(spec))
 
     def clear(self):
         """Remove every cache entry (stale fingerprints included)."""

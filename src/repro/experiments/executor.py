@@ -6,14 +6,25 @@ independent :class:`~repro.experiments.spec.RunSpec` values (its
 
 1. **expands** the requested experiments into one deduplicated, ordered
    spec list (figures sharing a configuration share the run);
-2. **primes** the caches — specs already present in either cache layer are
-   skipped, the rest execute on a ``multiprocessing`` pool (``jobs > 1``)
-   or inline (``jobs <= 1``), each worker building its own simulated
-   machine from the spec;
-3. **merges deterministically** — ``Pool.map`` returns outcomes in
-   submission order regardless of completion order, and the merge deposits
-   them spec-by-spec, so a parallel sweep leaves the caches (and therefore
-   every rendered table) byte-identical to a serial one.
+2. **primes** the caches — warm specs short-circuit in the parent without
+   touching a worker, and the rest execute on the configured pool:
+
+   * ``persistent`` (default) — the worker-pool engine in
+     :mod:`repro.experiments.pool`: workers forked once per executor
+     lifetime after the parent pre-warm, specs dispatched one at a time
+     longest-expected-first (recorded timings from the result cache's
+     metadata, falling back to the spec-declared :meth:`RunSpec.cost_hint`),
+     outcomes returned through a shared-memory result plane, crashed
+     workers respawned with their in-flight spec requeued exactly once;
+   * ``fork`` — the legacy one-shot ``multiprocessing.Pool.map`` (kept as
+     a baseline; degrades to serial where fork is unavailable);
+   * ``serial`` — inline execution;
+
+3. **merges deterministically** — outcomes commit to the caches as they
+   land and the merge restores spec order at the end, so any pool shape
+   leaves the caches (and therefore every rendered table) byte-identical
+   to a serial sweep.  The pool shape is *engine* configuration: it never
+   joins a :class:`RunSpec` or its cache key.
 
 The experiments themselves then run unmodified: their ``run()`` functions
 call :func:`repro.experiments.common.run_spec`, which finds every outcome
@@ -21,9 +32,14 @@ already in memory.
 """
 
 import multiprocessing
+import time
 
 from repro.experiments import common
 from repro.experiments.registry import REGISTRY, run_experiment
+from repro.sim.tracing import HostCounters
+
+#: The executor's pool shapes (the CLI's ``--pool`` choices).
+POOL_KINDS = ("persistent", "fork", "serial")
 
 
 def _execute_spec(spec):
@@ -63,8 +79,14 @@ def expand(experiment_ids, quick=False, devices=None):
 class ExperimentExecutor:
     """Runs experiment sweeps over a worker pool with shared caches."""
 
-    def __init__(self, jobs=1, use_cache=True, cache_dir=None):
+    def __init__(self, jobs=1, use_cache=True, cache_dir=None,
+                 pool="persistent"):
+        if pool not in POOL_KINDS:
+            raise ValueError(
+                f"unknown pool kind {pool!r}; pick from {POOL_KINDS}"
+            )
         self.jobs = max(1, int(jobs))
+        self.pool_kind = pool
         if not use_cache:
             self.cache = None
         elif cache_dir is not None:
@@ -74,30 +96,67 @@ class ExperimentExecutor:
         else:
             self.cache = common.persistent_cache()
         self.stats = {"expanded": 0, "reused": 0, "executed": 0}
+        self.counters = HostCounters()
+        self._pool = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self):
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def cache_context(self):
         """Context manager installing this executor's persistent cache."""
         return common.using_cache(self.cache)
 
+    # -- priming -------------------------------------------------------------
+
     def prime(self, specs):
         """Ensure every spec's outcome is in the caches; returns stats.
 
         Call inside :meth:`cache_context` (the run/run_many entry points
-        do).  Outcomes of missing specs are merged in spec order, so the
-        resulting cache state is independent of worker scheduling.
+        do).  Outcomes land streaming but the merge restores spec order,
+        so the resulting cache state is independent of worker scheduling
+        and of the pool shape.
         """
         from repro.util.hostalloc import retain_arena
 
         retain_arena()
         missing = [spec for spec in specs if common.peek(spec) is None]
+        # Cache-aware dispatch: warm specs never reach a worker.
+        self.counters.increment("warm_hits", len(specs) - len(missing))
         if missing:
-            if self.jobs > 1 and len(missing) > 1:
-                self._warm_shared_inputs(missing)
-                outcomes = self._pool_map(missing)
+            parallel = (
+                self.jobs > 1 and len(missing) > 1
+                and self.pool_kind != "serial"
+            )
+            if parallel:
+                from repro.experiments import pool as pool_engine
+
+                pool_engine.rebuild_memoized_inputs(
+                    pool_engine.distinct_configs(missing)
+                )
+                if self.pool_kind == "fork":
+                    self._legacy_pool_prime(missing)
+                else:
+                    self._persistent_prime(missing)
             else:
-                outcomes = [spec.execute() for spec in missing]
-            for spec, outcome in zip(missing, outcomes):
-                common.store(spec, outcome)
+                self._serial_prime(missing)
         self.stats = {
             "expanded": len(specs),
             "reused": len(specs) - len(missing),
@@ -105,43 +164,108 @@ class ExperimentExecutor:
         }
         return self.stats
 
-    @staticmethod
-    def _warm_shared_inputs(specs):
-        """Build memoized inputs/oracles in the parent before forking.
+    def _serial_prime(self, missing):
+        timings = {}
+        for spec in missing:
+            started = time.perf_counter()  # sanitizer: allow[R003]
+            outcome = spec.execute()
+            timings[spec] = time.perf_counter() - started  # sanitizer: allow[R003]
+            common.store(spec, outcome)
+        self._record_timings(timings)
 
-        Workload constructors generate their input arrays deterministically
-        into a process-global memo; building each distinct configuration
-        once here means forked workers inherit the arrays as copy-on-write
-        pages — the zero-copy plane — instead of regenerating them (the
-        arrays never cross the pool boundary, so nothing is re-pickled).
-        A configuration that fails to warm simply builds in its worker.
+    def _legacy_pool_prime(self, missing):
+        """The pre-engine baseline: one fork pool per sweep, pickle pipes."""
+        if "fork" not in multiprocessing.get_all_start_methods():
+            # A spawn-only platform would lose the parent pre-warm in every
+            # pool child and recompute inputs per chunk; run inline instead
+            # of paying that silently (the persistent engine rebuilds
+            # per-worker and is the right shape there).
+            self.counters.increment("degraded_serial")
+            self._serial_prime(missing)
+            return
+        context = multiprocessing.get_context("fork")
+        processes = min(self.jobs, len(missing))
+        with context.Pool(processes=processes) as worker_pool:
+            outcomes = worker_pool.map(_execute_spec, missing)
+        for spec, outcome in zip(missing, outcomes):
+            common.store(spec, outcome)
+
+    def _persistent_prime(self, missing):
+        """Dispatch ``missing`` on the persistent engine, streaming merge."""
+        from repro.experiments.pool import StreamingMerge
+
+        engine = self._ensure_pool(missing)
+        merge = StreamingMerge(missing, commit=common.store)
+        timings = {}
+
+        def on_result(seq, outcome, host_s):
+            first = merge.deposit(seq, outcome)
+            if first:
+                timings[missing[seq]] = host_s
+            return first
+
+        engine.run(self._cost_ordered(missing), on_result)
+        merge.ordered()  # every seq landed; order restored
+        self._record_timings(timings)
+
+    def _ensure_pool(self, missing):
+        """The live persistent pool (workers fork once per executor)."""
+        from repro.experiments.pool import (
+            PersistentWorkerPool, distinct_configs,
+        )
+
+        if self._pool is not None and not self._pool.started:
+            self._pool = None
+        if self._pool is None:
+            self._pool = PersistentWorkerPool(
+                jobs=self.jobs, counters=self.counters,
+            )
+            self._pool.start(configs=distinct_configs(missing))
+        return self._pool
+
+    # -- cost-aware scheduling ------------------------------------------------
+
+    def _cost_ordered(self, specs):
+        """``(seq, spec)`` pairs, longest-expected-first.
+
+        Expected cost is the last recorded host-seconds for the spec from
+        the result cache's timing metadata; a spec never timed falls back
+        to its declared :meth:`~repro.experiments.spec.RunSpec.cost_hint`.
+        Scheduling long runs first minimizes the idle tail; the sort is
+        stable, so equal-cost specs keep spec order and the merge stays
+        deterministic regardless.
         """
-        from repro.experiments.spec import WORKLOAD_FACTORIES
+        recorded = self.cache.timings() if self.cache is not None else {}
 
-        seen = set()
-        for spec in specs:
-            key = (spec.workload, spec.params)
-            if key in seen:
-                continue
-            seen.add(key)
-            try:
-                workload = WORKLOAD_FACTORIES[spec.workload](
-                    **dict(spec.params)
-                )
-                workload._reference_outputs()
-            except Exception:
-                pass
+        def expected(spec):
+            if recorded:
+                from repro.experiments.cache import ResultCache
 
-    def _pool_map(self, specs):
-        # Fork shares the parent's imported modules (cheap workers); fall
-        # back to the platform default where fork is unavailable.
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:
-            context = multiprocessing.get_context()
-        processes = min(self.jobs, len(specs))
-        with context.Pool(processes=processes) as pool:
-            return pool.map(_execute_spec, specs)
+                seconds = recorded.get(ResultCache.timing_key(spec))
+                if seconds is not None:
+                    # Recorded timings are host seconds; cost hints are
+                    # unitless sizes.  Rank within each population only —
+                    # mixing is fine because both orderings put big first.
+                    return seconds
+            return spec.cost_hint()
+
+        return sorted(
+            enumerate(specs), key=lambda pair: expected(pair[1]),
+            reverse=True,
+        )
+
+    def _record_timings(self, timings):
+        """Persist per-spec host-seconds as scheduling metadata."""
+        if self.cache is None or not timings:
+            return
+        from repro.experiments.cache import ResultCache
+
+        self.cache.record_timings({
+            ResultCache.timing_key(spec): seconds
+            for spec, seconds in timings.items()
+        })
+
+    # -- entry points ----------------------------------------------------------
 
     def run(self, experiment_id, quick=False):
         """Prime and run one experiment; returns its ExperimentResult."""

@@ -1,11 +1,49 @@
-"""The common result type every experiment returns."""
+"""The common result type every experiment returns, plus artifact stamps."""
 
 import csv
 import io
 import json
+import pathlib
 from dataclasses import dataclass, field
 
 from repro.util.tables import render_table
+
+
+def environment_stamp():
+    """Provenance for benchmark artifacts: commit, devices, backend, scale.
+
+    Regression comparisons are only meaningful between runs of the same
+    engine configuration; the stamp records the configuration a number was
+    measured under so a mismatch is visible in the artifact itself.  Both
+    ``bench_hotpath`` and ``bench_executor`` stamp their JSON with this.
+    """
+    import subprocess as sp
+
+    repo_root = pathlib.Path(__file__).resolve().parents[3]
+    try:
+        commit = sp.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, cwd=repo_root, check=True,
+        ).stdout.strip()
+    except (OSError, sp.CalledProcessError):
+        commit = "unknown"
+    from repro.cuda.backend import active_backend
+    from repro.experiments.common import active_scale
+    from repro.hw.specs import GTX280, OPTERON_2222, PCIE_2_0_X16
+    from repro.util.hostalloc import arena_retained
+
+    return {
+        "commit": commit,
+        "backend": active_backend(),
+        # No REPRO_SCALE override means the quick presets are in effect.
+        "scale": active_scale() or "quick",
+        "devices": {
+            "cpu": OPTERON_2222.name,
+            "gpu": GTX280.name,
+            "link": PCIE_2_0_X16.name,
+        },
+        "arena_retained": arena_retained(),
+    }
 
 
 @dataclass

@@ -153,6 +153,25 @@ class RunSpec:
             del fields["backend"]
         return json.dumps(fields, sort_keys=True, default=str)
 
+    def cost_hint(self):
+        """Spec-declared relative execution cost, for dispatch ordering.
+
+        Used by the executor's cost-aware scheduler only when no recorded
+        timing exists for this spec (a cold timings file).  Numeric
+        constructor parameters are input sizes — the dominant host-cost
+        driver — so their sum ranks configurations well enough to put the
+        long runs first; device count multiplies (each device adds links,
+        heaps and placement work).  Never part of the key or the outcome:
+        a wrong hint can only misorder the dispatch queue.
+        """
+        total = 1.0
+        for _, value in self.params:
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                total += abs(float(value))
+        return total * self.devices
+
     def _build_machine(self):
         from repro.hw.machine import (
             integrated_system, multi_device_system, reference_system,
@@ -283,3 +302,19 @@ class SpecOutcome:
         if self.mode != "gmac":
             return self.mode.upper()
         return f"GMAC {self.protocol}"
+
+    def canonical_bytes(self):
+        """Deterministic serialization for byte-identity comparisons.
+
+        Raw ``pickle.dumps`` of two semantically equal outcomes can differ
+        when their object graphs share strings differently (a spec that
+        crossed a process boundary no longer shares interned strings with
+        its outcome), so byte-identity is defined over this canonical
+        form: JSON with sorted keys, which encodes values only — floats
+        via shortest round-trip repr, so equality here is exact equality
+        of every number.
+        """
+        return json.dumps(
+            asdict(self), sort_keys=True, default=repr,
+            separators=(",", ":"),
+        ).encode()

@@ -104,6 +104,39 @@ class TraceLog:
         return len(self.events)
 
 
+class HostCounters:
+    """Named host-side event counters for engine diagnostics.
+
+    The executor's worker-pool engine counts what the *host* machinery did
+    — specs dispatched, control messages exchanged, bytes through the
+    shared-memory result plane, crashed workers respawned — the same way
+    :class:`TimeAccounting` keeps its host-side throughput counters: these
+    values never feed virtual time and never become part of an experiment
+    outcome, so a pooled sweep stays byte-identical to a serial one.  They
+    surface in ``BENCH_sweep.json`` for regression tracking.
+    """
+
+    def __init__(self):
+        self._counts = {}
+
+    def increment(self, name, n=1):
+        self._counts[name] = self._counts.get(name, 0) + n
+
+    def get(self, name, default=0):
+        return self._counts.get(name, default)
+
+    def snapshot(self):
+        """A plain sorted dict copy (for JSON artifacts and assertions)."""
+        return {name: self._counts[name] for name in sorted(self._counts)}
+
+    def merge(self, other):
+        for name, value in other._counts.items():
+            self.increment(name, value)
+
+    def reset(self):
+        self._counts.clear()
+
+
 class TimeAccounting:
     """Charges virtual-time durations to Figure 10 categories.
 

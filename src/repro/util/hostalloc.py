@@ -26,6 +26,18 @@ _M_MMAP_MAX = -4
 _applied = False
 
 
+def arena_retained():
+    """Whether the retained-arena tuning is in effect in this process.
+
+    Forked pool workers inherit the parent's already-tuned allocator (the
+    mallopt switches are process state), so this reads True there without
+    a further call; spawned workers start cold and must call
+    :func:`retain_arena` themselves.  Benchmark environment stamps record
+    this so timings are comparable only against like configurations.
+    """
+    return _applied
+
+
 def retain_arena():
     """Keep freed large buffers in the malloc arena (glibc only).
 

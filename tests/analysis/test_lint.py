@@ -115,6 +115,32 @@ class TestR004StateBypass:
         assert check(tmp_path, "dirty = table.states[index] == 1\n") == []
 
 
+class TestR005AdHocPools:
+    def test_multiprocessing_pool_flags(self, tmp_path):
+        findings = check(tmp_path, "pool = multiprocessing.Pool(4)\n")
+        assert rules(findings) == ["R005"]
+        assert "ExperimentExecutor" in findings[0].message
+
+    def test_context_pool_flags(self, tmp_path):
+        source = 'pool = multiprocessing.get_context("fork").Pool(2)\n'
+        assert rules(check(tmp_path, source)) == ["R005"]
+
+    def test_bare_pool_call_flags(self, tmp_path):
+        assert rules(check(tmp_path, "with Pool(2) as p:\n    pass\n")) == [
+            "R005"
+        ]
+
+    def test_executor_engine_owns_pools(self, tmp_path):
+        source = "pool = context.Pool(processes=2)\n"
+        assert check(
+            tmp_path, source, relative="experiments/executor.py"
+        ) == []
+        assert check(tmp_path, source, relative="experiments/pool.py") == []
+
+    def test_reading_a_pool_attribute_is_fine(self, tmp_path):
+        assert check(tmp_path, "size = engine.Pool\n") == []
+
+
 class TestSuppression:
     def test_allow_comment_suppresses_exactly_that_rule(self, tmp_path):
         findings = check(

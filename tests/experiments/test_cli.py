@@ -26,3 +26,13 @@ class TestCli:
         out = capsys.readouterr().out
         for name in ("cp", "mri-fhd", "tpacf"):
             assert name in out
+
+    @pytest.mark.parametrize("pool", ["persistent", "fork", "serial"])
+    def test_pool_flag_accepted(self, pool, capsys):
+        assert main(["fig2", "--quick", "--pool", pool]) == 0
+        assert "fig2" in capsys.readouterr().out
+
+    def test_unknown_pool_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig2", "--pool", "threads"])
+        assert "invalid choice" in capsys.readouterr().err
