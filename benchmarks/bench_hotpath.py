@@ -15,6 +15,11 @@ simulating the full quick figure sweep (59 specs) — and writes
 * **throughput counters**: one instrumented run's faults/s,
   block-transitions/s and host-seconds-per-virtual-second from
   :meth:`repro.sim.tracing.TimeAccounting.throughput`;
+* **transfer-ledger counters**: the sweep's copy-elision totals —
+  ``transfers_elided``, ``bytes_deferred``, ``bytes_materialized``,
+  ``cow_snapshots``, ``elided_fraction`` and the flush delta split
+  (``flush_bytes_copied`` / ``flush_bytes_skipped``) from
+  :func:`repro.hw.memory.ledger_counters` — see DESIGN.md §14;
 * **kernel-numerics counters**: the deferred-engine view of one
   launch-heavy run (pns at quick size) — ``kernel_rounds_per_host_s``
   (launches whose numerics executed, per host second) and
@@ -90,12 +95,22 @@ calibration_s = min(calibrate_once() for _ in range(3))
 
 from repro.experiments.executor import expand
 
+# Transfer-ledger counters over the whole sweep (engines predating the
+# ledger — the baseline recording run reuses this child — omit the block).
+try:
+    from repro.hw.memory import ledger_counters, reset_ledger_counters
+except ImportError:
+    ledger_counters = None
+else:
+    reset_ledger_counters()
+
 specs = expand(["fig7", "fig8", "fig9", "fig10", "fig11", "fig12"],
                quick=True)
 start = time.perf_counter()
 for spec in specs:
     spec.execute()
 sweep_s = time.perf_counter() - start
+transfer_ledger = ledger_counters() if ledger_counters is not None else None
 
 from repro.workloads.vecadd import VectorAdd
 
@@ -192,6 +207,7 @@ print(json.dumps({
     "sweep_s": sweep_s,
     "spec_count": len(specs),
     "throughput": throughput,
+    "transfer_ledger": transfer_ledger,
     "kernel_numerics": kernel_numerics,
     "sanitizer_overhead": sanitizer_overhead,
     "failover_overhead": failover_overhead,
@@ -249,6 +265,7 @@ def _measure(runs):
         "regression_limit": REGRESSION_LIMIT,
         "regressed": normalized > base_normalized * REGRESSION_LIMIT,
         "throughput": samples[-1]["throughput"],
+        "transfer_ledger": samples[-1].get("transfer_ledger"),
         "kernel_numerics": samples[-1].get("kernel_numerics"),
         "sanitizer_overhead": samples[-1].get("sanitizer_overhead"),
         "sanitizer_overhead_limit": SANITIZER_OVERHEAD_LIMIT,

@@ -1,0 +1,116 @@
+"""Transfer-ledger byte-identity gate: lazy vs eager quick sweep.
+
+The ledger's whole contract is that it changes *when* bytes move, never
+*what* bytes are observed (DESIGN.md §14).  This gate runs the serial
+quick figure sweep twice in fresh interpreters — once with the default
+lazy engine and once with ``REPRO_EAGER_TRANSFERS=1`` — hashes every
+``SpecOutcome.canonical_bytes()`` in both, and fails on the first
+divergent spec.  It also fails if the lazy sweep's measured
+``elided_fraction`` drops below a floor: an engine that stops eliding is
+paying the ledger's bookkeeping for nothing, which is its own
+regression even while outputs stay identical.
+
+Run directly (``python benchmarks/bench_transfer_identity.py``) or via
+pytest; writes ``BENCH_transfer_identity.json`` at the repo root.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = ROOT / "BENCH_transfer_identity.json"
+
+#: The sweep's measured elided fraction sits around 0.5 (batch rounds
+#: elide nearly everything, lazy/rolling rounds legitimately almost
+#: nothing); the floor trips if a change quietly stops the elision.
+ELIDED_FLOOR = 0.25
+
+_CHILD = r"""
+import hashlib, json
+from repro.experiments.executor import expand
+from repro.hw.memory import ledger_counters, reset_ledger_counters
+
+reset_ledger_counters()
+specs = expand(["fig7", "fig8", "fig9", "fig10", "fig11", "fig12"],
+               quick=True)
+digests = {}
+for spec in specs:
+    outcome = spec.execute()
+    digests[repr(spec.key)] = hashlib.sha256(
+        outcome.canonical_bytes()
+    ).hexdigest()
+print(json.dumps({"digests": digests, "ledger": ledger_counters()}))
+"""
+
+
+def _run_sweep(eager):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    env["REPRO_EAGER_TRANSFERS"] = "1" if eager else "0"
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD],
+        capture_output=True, text=True, check=True, env=env,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def run_benchmark(output_path=OUTPUT_PATH):
+    lazy = _run_sweep(eager=False)
+    eager = _run_sweep(eager=True)
+    divergent = sorted(
+        key for key in lazy["digests"]
+        if eager["digests"].get(key) != lazy["digests"][key]
+    )
+    report = {
+        "spec_count": len(lazy["digests"]),
+        "divergent_specs": divergent,
+        "identical": not divergent,
+        "lazy_ledger": lazy["ledger"],
+        "eager_ledger": eager["ledger"],
+        "elided_fraction": lazy["ledger"]["elided_fraction"],
+        "elided_floor": ELIDED_FLOOR,
+        "elision_ok": lazy["ledger"]["elided_fraction"] >= ELIDED_FLOOR,
+    }
+    output_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def test_lazy_and_eager_sweeps_are_byte_identical():
+    report = run_benchmark()
+    assert report["identical"], (
+        f"{len(report['divergent_specs'])} spec(s) diverge between lazy "
+        f"and eager transfer engines: {report['divergent_specs'][:5]}"
+    )
+    assert report["elision_ok"], (
+        f"lazy sweep elided_fraction {report['elided_fraction']:.3f} fell "
+        f"below the {ELIDED_FLOOR} floor: the ledger has stopped eliding"
+    )
+    # The eager sweep must be genuinely eager (no ledger activity at all).
+    assert report["eager_ledger"]["bytes_deferred"] == 0
+
+
+def main():
+    report = run_benchmark()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if not report["identical"]:
+        print("DIVERGENCE between lazy and eager sweeps", file=sys.stderr)
+        return 1
+    if not report["elision_ok"]:
+        print(
+            f"elided_fraction {report['elided_fraction']:.3f} below the "
+            f"{ELIDED_FLOOR} floor",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"{report['spec_count']} specs byte-identical; "
+        f"elided_fraction {report['elided_fraction']:.3f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

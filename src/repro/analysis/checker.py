@@ -25,6 +25,16 @@ After flagging a violation the checker *adopts* the implementation's
 claim (sets the bits the claim asserts), so one protocol bug yields one
 violation at its first observable event rather than a cascade of
 downstream noise.
+
+The transfer ledger (DESIGN.md §14) needs no checker changes: a fetch
+that records a deferred extent still makes the *host* logically valid —
+the entry's versioned bytes are the host copy, materialized on first
+observation — and a delta-trimmed flush still makes the device valid, so
+``host_valid``/``device_valid`` keep their meaning unmodified.  The
+``pending=`` sample on fetch events (the deferred-numerics barrier
+check) is taken inside the ledger's record path at the same point an
+eager copy would observe device bytes, which is what lets the
+ledger-bypass mutation trip the existing ``barrier-bypass`` rule.
 """
 
 from __future__ import annotations

@@ -1,6 +1,6 @@
 """Repo-specific static lint (run as ``python -m repro.analysis.lint``).
 
-Five rules, each encoding an invariant the simulator depends on but no
+Six rules, each encoding an invariant the simulator depends on but no
 general-purpose linter knows about:
 
 ``R001``
@@ -40,6 +40,17 @@ general-purpose linter knows about:
     reach the result caches deterministically — all fan-out goes through
     :class:`~repro.experiments.executor.ExperimentExecutor`.
 
+``R006``
+    No direct byte copies between host mappings and device backing
+    stores outside :mod:`repro.hw.memory`'s two ledger entry points
+    (``copy_h2d`` / ``copy_d2h``).  A statement that both calls a
+    device-memory byte accessor (``*.memory.read/write/fill/view``) and
+    touches the host plane (``peek``/``peek_view``/``poke``/
+    ``poke_fill``, a ``.backing`` store, or an address-space ``view``)
+    is moving bytes around the transfer ledger: the copy dodges
+    deferred-extent materialization, dirty-run recording and the COW
+    shield, silently diverging the lazy engine from the eager one.
+
 A finding is suppressed by a trailing ``# sanitizer: allow[R00X]``
 comment on the offending line; every suppression is deliberate and
 greppable.
@@ -60,6 +71,7 @@ RULES: Dict[str, str] = {
     "R003": "unseeded randomness or wall-clock in simulation code",
     "R004": "protocol block-state mutation outside the coherence core",
     "R005": "multiprocessing pool constructed outside the executor engine",
+    "R006": "host<->device byte copy outside the ledger entry points",
 }
 
 _ALLOW_RE = re.compile(r"#\s*sanitizer:\s*allow\[(R\d{3})\]")
@@ -77,6 +89,13 @@ _STATE_CORE = (
 )
 #: The only modules allowed to build worker pools: the sweep engine.
 _POOL_CORE = ("experiments/executor.py", "experiments/pool.py")
+#: The only module allowed to move bytes between host and device stores:
+#: the transfer-ledger entry points live here (DESIGN.md §14).
+_LEDGER_CORE = ("hw/memory.py",)
+#: Byte accessors on a ``*.memory`` receiver (device side) and the host
+#: plane's privileged accessors, as seen by R006.
+_DEVICE_BYTE_METHODS = {"read", "write", "fill", "view"}
+_HOST_BYTE_METHODS = {"peek", "peek_view", "poke", "poke_fill"}
 
 
 @dataclass(frozen=True)
@@ -104,6 +123,7 @@ class _Visitor(ast.NodeVisitor):
         self.in_hw = relative.startswith("hw/")
         self.in_state_core = relative.startswith(_STATE_CORE)
         self.in_pool_core = relative in _POOL_CORE
+        self.in_ledger_core = relative in _LEDGER_CORE
         self.findings: List[tuple[int, str, str]] = []
 
     def _flag(self, node: ast.AST, rule: str, message: str) -> None:
@@ -150,11 +170,52 @@ class _Visitor(ast.NodeVisitor):
     def visit_Assign(self, node: ast.Assign) -> None:
         for target in node.targets:
             self._check_assign_target(target)
+        self._check_direct_copy(node)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._check_assign_target(node.target)
+        self._check_direct_copy(node)
         self.generic_visit(node)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        self._check_direct_copy(node)
+        self.generic_visit(node)
+
+    # R006 ------------------------------------------------------------------------
+
+    def _check_direct_copy(self, node: ast.stmt) -> None:
+        """One statement touching both byte planes is a ledger bypass."""
+        if self.in_ledger_core:
+            return
+        device = host = False
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute) and sub.attr == "backing":
+                host = True
+            if not (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)):
+                continue
+            attr = sub.func.attr
+            receiver = sub.func.value
+            if (attr in _DEVICE_BYTE_METHODS
+                    and isinstance(receiver, ast.Attribute)
+                    and receiver.attr == "memory"):
+                device = True
+            elif attr in _HOST_BYTE_METHODS:
+                host = True
+            elif attr == "view" and (
+                (isinstance(receiver, ast.Name) and "space" in receiver.id)
+                or (isinstance(receiver, ast.Attribute)
+                    and "space" in receiver.attr)
+            ):
+                host = True
+        if device and host:
+            self._flag(
+                node, "R006",
+                "statement copies bytes between host and device stores "
+                "directly; route through repro.hw.memory.copy_h2d/copy_d2h "
+                "so the transfer ledger stays sound",
+            )
 
     # R002 / R003 / R004 ------------------------------------------------------------
 

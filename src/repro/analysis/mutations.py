@@ -34,8 +34,10 @@ from repro.core.blocks import BlockState, INVALID_CODE
 from repro.core.protocols.batch import BatchUpdate
 from repro.core.protocols.lazy import LazyUpdate
 from repro.core.protocols.rolling import RollingUpdate
+from repro.cuda.driver import DriverContext
 from repro.cuda.kernels import Kernel
 from repro.hw.gpu import Gpu
+from repro.hw.interconnect import Direction
 from repro.hw.machine import reference_system
 from repro.os.paging import AccessKind, Prot
 from repro.util.units import KB
@@ -215,6 +217,25 @@ def _observed_without_materialize(self: Any) -> None:
         self.observe_hook()
 
 
+def _memcpy_d2h_direct(self: Any, host: int, device: int, size: int,
+                       stream: Any = None, sync: bool = True) -> Any:
+    """Bug 10: a hand-rolled D2H 'fast path' grabs the backing buffers
+    directly, skipping the ledger entry point — and with it the device
+    observation barrier, dirty-run recording and deferred-extent
+    materialization."""
+    self._driver_call()
+    self._check_alive()
+    self._maybe_fail_transfer(Direction.D2H, size)
+    allocation, offset = self.gpu.memory._locate(device, size)  # sanitizer: allow[R001]
+    self.process.address_space.poke(  # sanitizer: allow[R006]
+        host, allocation.buffer[offset:offset + size]
+    )
+    completion = self._schedule_transfer(size, Direction.D2H, stream)
+    if sync:
+        completion.wait()
+    return completion
+
+
 @dataclass(frozen=True)
 class Mutation:
     name: str
@@ -288,6 +309,13 @@ MUTATIONS: Tuple[Mutation, ...] = (
         ("barrier-bypass",),
         _scenario_batch,
         ((Gpu, "_memory_observed", _observed_without_materialize),),
+    ),
+    Mutation(
+        "ledger-bypass-direct-copy",
+        "D2H fast path copies device bytes around the transfer ledger",
+        ("barrier-bypass",),
+        _scenario_batch,
+        ((DriverContext, "memcpy_d2h", _memcpy_d2h_direct),),
     ),
 )
 

@@ -169,6 +169,11 @@ class GmacInterposer:
         the accelerator copy becomes canonical.  This is the Section 7
         "hardware supported peer DMA" the paper argues for; GMAC's
         software-only implementation "still requires intermediate copies".
+
+        ``memory.write`` runs the device-write hook (DESIGN.md §14):
+        outstanding ledger extents sourced from the overwritten range are
+        COW-snapshotted and any synced-run claims over it drop, so a
+        later flush knows the device bytes changed underneath it.
         """
         from repro.sim.tracing import Category
         from repro.hw.interconnect import Direction

@@ -24,6 +24,12 @@ import numpy as np
 from repro.util.errors import AllocationError, GmacError
 from repro.util.intervals import Interval, RangeMap
 from repro.hw.interconnect import Direction
+from repro.hw.memory import (
+    discard_host_range,
+    ledger_bind,
+    ledger_release,
+    ledger_unbind,
+)
 from repro.util.avltree import AvlTree
 from repro.sim.tracing import Category, CoherenceEvent
 from repro.os.paging import Prot
@@ -154,6 +160,7 @@ class Manager:
                 "alloc", region.name, 0, table.n_blocks - 1,
                 detail=f"size={size}",
             )
+            self._bind_transfer_plane(region)
             self.protocol.on_alloc(region)
         return region
 
@@ -206,6 +213,7 @@ class Manager:
             self._steps_epoch += 1
             self._regions.remove(host_start)
             self.clock.advance(self.costs.mmap_s)
+            self._unbind_transfer_plane(region)
             self.process.address_space.munmap(region.host_start)
             self.layer.free(region.device_start, owner=region.owner)
         return region
@@ -449,6 +457,51 @@ class Manager:
         )
         return result
 
+    def _bind_transfer_plane(self, region):
+        """Bind the region's mapping to its device range for the transfer
+        ledger (DESIGN.md §14); a no-op in eager-transfer mode, where no
+        plane is ever created.  A fresh pairing is synced by construction —
+        the device buffer and the anonymous mapping are both zeros — so the
+        first flush of an untouched block already collapses to an empty
+        delta.  Rebinding after migration or device recovery is
+        self-healing inside the copy entry points, so this is only needed
+        here at birth."""
+        gpu = self.layer.gpu_for(region.owner)
+        if not gpu.defer_transfers:
+            return
+        mapping = self.process.address_space.mapping_at(region.host_start)
+        if mapping is None:
+            return
+        ledger_bind(
+            gpu.memory, region.device_start, mapping, region.host_start,
+            region.mapped_size, synced=True,
+        )
+
+    def _unbind_transfer_plane(self, region):
+        """Drop ledger state before the region's mapping is unmapped.
+        Outstanding entries die unread (their host bytes become
+        unobservable), which counts them as fully elided transfers."""
+        mapping = self.process.address_space.mapping_at(region.host_start)
+        if mapping is None or mapping.plane is None:
+            return
+        gpu = self.layer.gpu_for(region.owner)
+        ledger_unbind(gpu.memory, region.device_start, mapping)
+        ledger_release(mapping)
+
+    def discard_host_blocks(self, region, first, last):
+        """Pre-fetch hint to the transfer ledger: blocks ``[first, last]``
+        are about to be overwritten by device fetches, so outstanding
+        entries over them are dead weight — killing them now avoids the
+        COW snapshots the fetch's own numerics replay would otherwise take
+        for bytes nobody will ever read.  Safe because callers fetch the
+        whole span immediately, with no host access in between."""
+        mapping = self.process.address_space.mapping_at(region.host_start)
+        if mapping is None or mapping.plane is None:
+            return
+        table = region.table
+        start = table.start_of(first)
+        discard_host_range(mapping, start, table.end_of(last) - start)
+
     def ensure_device_canonical(self, region, interval):
         """Make the accelerator copy of ``interval`` valid.
 
@@ -487,6 +540,7 @@ class Manager:
         window = region.table.states[first:last + 1]
         invalid = np.flatnonzero(window == INVALID_CODE) + first
         for run_first, run_last in index_runs(invalid):
+            self.discard_host_blocks(region, run_first, run_last)
             for index in range(run_first, run_last + 1):
                 self.fetch_index(region, index)
             self.set_index_range(

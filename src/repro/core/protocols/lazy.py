@@ -6,6 +6,13 @@ kernel call only *dirty* objects travel to the accelerator, and after
 return objects come back *on demand*, when (and only when) the CPU touches
 them.  The two benefits named in Section 4.3: only CPU-modified data moves
 host-to-accelerator, and only CPU-read data moves back.
+
+Flushes and fetches go through the manager to the transfer ledger
+(DESIGN.md §14): a flush of a dirty object copies only the host-dirty /
+unsynced delta, and a fetch records a versioned extent instead of moving
+bytes.  Because lazy fetches happen on an actual CPU access, the faulting
+bytes materialize almost immediately — lazy's win is the delta flush, not
+elision, and that is expected (see the transfer-equivalence suite).
 """
 
 from repro.os.paging import Prot, AccessKind

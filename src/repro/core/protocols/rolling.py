@@ -13,6 +13,12 @@ The rolling size is adaptive by default: "every time a new memory structure
 is allocated (adsmAlloc()), the rolling size is increased by a fixed factor
 (with a default value of 2 blocks)".  Figure 12's experiments pin it to
 fixed values (1, 2, 4) instead, which is supported via ``rolling_size``.
+
+Eager evictions flush through the same manager path as lazy's release,
+so the transfer ledger's delta tracker (DESIGN.md §14) trims each evicted
+block to its host-dirty runs; the virtual transfer still charges the full
+block (the paper's staging-buffer DMA moves whole blocks), keeping the
+Figure 11/12 timelines byte-identical to the eager engine.
 """
 
 from collections import deque

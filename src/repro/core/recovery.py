@@ -40,6 +40,7 @@ from repro.util.errors import (
 )
 from repro.sim.tracing import Category
 from repro.hw.interconnect import Direction
+from repro.hw.memory import copy_d2h
 from repro.core.blocks import BlockState
 from repro.core.watchdog import Watchdog
 
@@ -242,9 +243,15 @@ class RecoveryPolicy:
                 device_start = region.device_start + (
                     host_start - region.host_start
                 )
-                data = context.gpu.memory.view(device_start, "u1", size)
                 # DMA ignores host page protections, like memcpy_d2h.
-                space.view(host_start, "u1", size)[:] = data
+                # Routed through the ledger entry point (always eager —
+                # salvage runs because the device is about to be declared
+                # lost, so deferring against its memory would be useless).
+                mapping = space.resolve(host_start, size)
+                copy_d2h(
+                    context.gpu.memory, device_start, mapping,
+                    host_start, size, deferred=False,
+                )
                 context.link.transfer(
                     size, Direction.D2H, label="salvage"
                 ).wait()

@@ -22,6 +22,7 @@ from repro.util.errors import (
     TransferError,
 )
 from repro.hw.interconnect import Direction
+from repro.hw import memory as device_memory
 
 
 class Event:
@@ -252,27 +253,51 @@ class DriverContext:
     # -- data transfer --------------------------------------------------------------
 
     def memcpy_h2d(self, device, host, size, stream=None, sync=True):
-        """Copy host -> device.  Returns the transfer Completion."""
+        """Copy host -> device.  Returns the transfer Completion.
+
+        An injected PCIe fault fires *before* any bytes (or ledger
+        metadata) change: deferred transfers fault at charge time, exactly
+        like their eager equivalents.  The byte movement itself goes
+        through the ledger entry point — in deferred mode only the
+        host-dirty / unsynced delta is copied; the link is charged for the
+        full ``size`` either way (DMA ignores host page protections).
+        """
         self._driver_call()
         self._check_alive()
         self._maybe_fail_transfer(Direction.H2D, size)
-        # Direct view-to-view copy: one memmove, like a real DMA engine
-        # (which also ignores page protections on the host side).
-        source = self.process.address_space.view(host, "u1", size)
-        self.gpu.memory.view(device, "u1", size)[:] = source
-        completion = self._schedule_transfer(size, Direction.H2D, stream)
+        mapping = self.process.address_space.resolve(host, size)
+        copied = device_memory.copy_h2d(
+            self.gpu.memory, device, mapping, host, size,
+            deferred=self.gpu.defer_transfers,
+        )
+        completion = self._schedule_transfer(
+            size, Direction.H2D, stream, deferred=size - copied
+        )
         if sync:
             completion.wait()
         return completion
 
     def memcpy_d2h(self, host, device, size, stream=None, sync=True):
-        """Copy device -> host.  Returns the transfer Completion."""
+        """Copy device -> host.  Returns the transfer Completion.
+
+        In deferred mode this records a versioned ledger extent against the
+        destination mapping instead of copying; the bytes materialize when
+        the host range is observed.  Faults fire at charge time, the link
+        is charged for the full ``size``, and the device-side observation
+        barrier (numerics materialization) runs at record time — the event
+        stream is identical to an eager copy's.
+        """
         self._driver_call()
         self._check_alive()
         self._maybe_fail_transfer(Direction.D2H, size)
-        source = self.gpu.memory.view(device, "u1", size)
-        self.process.address_space.view(host, "u1", size)[:] = source
-        completion = self._schedule_transfer(size, Direction.D2H, stream)
+        mapping = self.process.address_space.resolve(host, size)
+        copied = device_memory.copy_d2h(
+            self.gpu.memory, device, mapping, host, size,
+            deferred=self.gpu.defer_transfers,
+        )
+        completion = self._schedule_transfer(
+            size, Direction.D2H, stream, deferred=size - copied
+        )
         if sync:
             completion.wait()
         return completion
@@ -294,7 +319,7 @@ class DriverContext:
         duration = size / self.gpu.spec.memory_bandwidth_bytes_per_s
         return self.gpu.engine.execute(duration, label="memset")
 
-    def _schedule_transfer(self, size, direction, stream):
+    def _schedule_transfer(self, size, direction, stream, deferred=0):
         if self.machine.integrated:
             # CPU and accelerator share physical memory: the "transfer" is
             # a no-op aside from the driver call (Section 3.1's low-cost
@@ -302,7 +327,8 @@ class DriverContext:
             return self.link.resource(direction).schedule(0.0, label="no-op")
         earliest = stream.earliest_next if stream is not None else None
         completion = self.link.transfer(
-            size, direction, label=str(direction), earliest=earliest
+            size, direction, label=str(direction), earliest=earliest,
+            deferred=deferred,
         )
         if stream is not None:
             stream.chain(completion)

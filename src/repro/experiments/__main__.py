@@ -89,6 +89,18 @@ def main(argv=None):
         ),
     )
     parser.add_argument(
+        "--eager-transfers",
+        action="store_true",
+        help=(
+            "disable the transfer ledger: every host<->device copy moves "
+            "bytes eagerly at transfer time (the pre-ledger engine; "
+            "DESIGN.md §14).  Engine configuration only — never part of a "
+            "cache key; the CI byte-identity gate diffs this mode against "
+            "the default lazy engine.  Same switch as "
+            "REPRO_EAGER_TRANSFERS=1, which forked workers inherit"
+        ),
+    )
+    parser.add_argument(
         "--sanitize",
         action="store_true",
         help=(
@@ -107,6 +119,15 @@ def main(argv=None):
     from repro.util.hostalloc import retain_arena
 
     retain_arena()
+    if args.eager_transfers:
+        # Environment + module default: workers inherit the env, and Gpus
+        # constructed in-process see the flipped default immediately.
+        import os
+
+        import repro.hw.gpu as gpu_module
+
+        os.environ["REPRO_EAGER_TRANSFERS"] = "1"
+        gpu_module.DEFAULT_DEFER_TRANSFERS = False
     if args.sanitize:
         # Checked results must come from checked runs, never from a cache
         # populated by unchecked ones; workers inherit the env switch.

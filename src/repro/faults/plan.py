@@ -16,6 +16,12 @@ plan installed at all) every injection point is a zero-cost no-op: not
 even the RNG streams are advanced, so fault-free runs are byte-identical
 to a build without the hooks.
 
+Transfer faults fire at *charge* time: the driver consults the plan
+before any bytes — or, under the transfer ledger (DESIGN.md §14), any
+deferred-extent metadata — change, so a faulted DMA looks identical in
+both engines and the per-site streams stay in lockstep between them
+(the fault-storm parity suite pins this).
+
 Device-lost events are injected at the *kernel-launch* site only.  That
 window — after GMAC has released (flushed) shared objects, before the
 kernel has produced anything the host has not seen — is exactly where the

@@ -32,12 +32,18 @@ from repro.hw.memory import DeviceMemory
 #: the pre-deferral eager engine (used by the equivalence golden suite).
 DEFAULT_DEFER_NUMERICS = os.environ.get("REPRO_EAGER_KERNELS", "0") != "1"
 
+#: Process-wide default for the transfer ledger (DESIGN.md §14);
+#: ``REPRO_EAGER_TRANSFERS=1`` restores eager byte-copying transfers
+#: (used by the transfer-equivalence golden suite and the CI byte-identity
+#: gate).  Engine configuration only — never part of a result cache key.
+DEFAULT_DEFER_TRANSFERS = os.environ.get("REPRO_EAGER_TRANSFERS", "0") != "1"
+
 
 class Gpu:
     """An accelerator: device memory + serialized execution engine."""
 
     def __init__(self, spec, clock, memory_base=None, trace=False,
-                 defer_numerics=None):
+                 defer_numerics=None, defer_transfers=None):
         self.spec = spec
         self.clock = clock
         if memory_base is None:
@@ -50,6 +56,14 @@ class Gpu:
         if defer_numerics is None:
             defer_numerics = DEFAULT_DEFER_NUMERICS
         self.defer_numerics = defer_numerics
+        if defer_transfers is None:
+            defer_transfers = DEFAULT_DEFER_TRANSFERS
+        #: Transfer-ledger mode: when True, D2H copies into bound shared
+        #: mappings record ledger entries and H2D copies flush deltas
+        #: (DESIGN.md §14).  When False every copy moves bytes eagerly and
+        #: no plane is ever created, byte- and trace-identical to the
+        #: pre-ledger engine.
+        self.defer_transfers = defer_transfers
         #: Pending (kernel, args) numerics in launch order.
         self._queue = []
         #: True while replaying the queue (or running an eager kernel), so

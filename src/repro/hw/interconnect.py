@@ -40,6 +40,11 @@ class Link:
         # Figure 8/11 counters keep reflecting *logical* data movement.
         self.faulted_bytes = {Direction.H2D: 0, Direction.D2H: 0}
         self.faulted_count = {Direction.H2D: 0, Direction.D2H: 0}
+        # Bytes the transfer ledger did NOT physically copy at issue time
+        # (recorded D2H extents, flush-delta skips).  They remain part of
+        # ``bytes_moved`` — the link was charged and Figures 8/11 reflect
+        # logical movement — this counter just sizes the elision.
+        self.deferred_bytes = {Direction.H2D: 0, Direction.D2H: 0}
 
     def resource(self, direction):
         return self._resources[direction]
@@ -47,26 +52,38 @@ class Link:
     def transfer_seconds(self, size, direction):
         return self.spec.transfer_seconds(size, d2h=direction is Direction.D2H)
 
-    def transfer(self, size, direction, label="dma", earliest=None):
-        """Schedule a DMA of ``size`` bytes; returns a Completion (async)."""
+    def transfer(self, size, direction, label="dma", earliest=None,
+                 deferred=0):
+        """Schedule a DMA of ``size`` bytes; returns a Completion (async).
+
+        ``deferred`` reports how many of the bytes were *not* physically
+        copied by the caller (the transfer ledger's elision); timing and
+        the Figure 8/11 counters are identical either way.
+        """
         duration = self.transfer_seconds(size, direction)
         self.bytes_moved[direction] += size
         self.transfer_count[direction] += 1
+        if deferred:
+            self.deferred_bytes[direction] += deferred
         return self._resources[direction].schedule(
             duration, label=label, earliest=earliest
         )
 
-    def transfer_many(self, sizes, direction, label="dma", earliest=None):
+    def transfer_many(self, sizes, direction, label="dma", earliest=None,
+                      deferred=0):
         """Schedule a burst of DMAs; returns their Completions (async).
 
         Equivalent to calling :meth:`transfer` per size with no clock
         movement in between, but the byte/count bookkeeping and resource
         updates are amortized over the burst (streaming pipelines issue
-        dozens of chunks at one instant).
+        dozens of chunks at one instant).  ``deferred`` as in
+        :meth:`transfer`, totalled over the burst.
         """
         durations = [self.transfer_seconds(size, direction) for size in sizes]
         self.bytes_moved[direction] += sum(sizes)
         self.transfer_count[direction] += len(durations)
+        if deferred:
+            self.deferred_bytes[direction] += deferred
         return self._resources[direction].schedule_many(
             durations, label=label, earliest=earliest
         )
@@ -113,3 +130,4 @@ class Link:
         self.transfer_count = {Direction.H2D: 0, Direction.D2H: 0}
         self.faulted_bytes = {Direction.H2D: 0, Direction.D2H: 0}
         self.faulted_count = {Direction.H2D: 0, Direction.D2H: 0}
+        self.deferred_bytes = {Direction.H2D: 0, Direction.D2H: 0}

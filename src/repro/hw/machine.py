@@ -42,6 +42,7 @@ class Machine:
         integrated=False,
         trace=False,
         defer_numerics=None,
+        defer_transfers=None,
         link_specs=None,
         multi_device=False,
     ):
@@ -60,6 +61,11 @@ class Machine:
         #: Driver contexts consult this dynamically; the disk gets its own
         #: reference because the filesystem only sees the disk.
         self.faults = None
+        if integrated:
+            # CPU and accelerator share physical memory: a "transfer" is a
+            # zero-cost no-op that still snapshots bytes at issue time, so
+            # there is nothing for the ledger to defer.  Force eager.
+            defer_transfers = False
         specs = list(link_specs) if link_specs else [link_spec] * gpu_count
         if len(specs) != gpu_count:
             raise ValueError(
@@ -75,14 +81,16 @@ class Machine:
             if self.multi_device:
                 base = DEVICE_BASE + index * DEVICE_BASE_STRIDE
                 gpu = Gpu(gpu_spec, self.clock, memory_base=base,
-                          trace=trace, defer_numerics=defer_numerics)
+                          trace=trace, defer_numerics=defer_numerics,
+                          defer_transfers=defer_transfers)
             else:
                 # Multiple GPUs get overlapping device address ranges,
                 # exactly the collision hazard Section 4.2 describes;
                 # adsmSafeAlloc is the software fallback exercised against
                 # gpu_count > 1.
                 gpu = Gpu(gpu_spec, self.clock, trace=trace,
-                          defer_numerics=defer_numerics)
+                          defer_numerics=defer_numerics,
+                          defer_transfers=defer_transfers)
             self.gpus.append(gpu)
             self.links.append(Link(specs[index], self.clock, trace=trace))
         if not self.gpus:
@@ -128,14 +136,16 @@ class Machine:
             link.reset_counters()
 
 
-def reference_system(trace=False, gpu_count=1, defer_numerics=None):
+def reference_system(trace=False, gpu_count=1, defer_numerics=None,
+                     defer_transfers=None):
     """The Figure 1 reference architecture (the Section 5 testbed)."""
     return Machine(trace=trace, gpu_count=gpu_count,
-                   defer_numerics=defer_numerics)
+                   defer_numerics=defer_numerics,
+                   defer_transfers=defer_transfers)
 
 
 def multi_device_system(devices=2, link_specs=None, trace=False,
-                        defer_numerics=None):
+                        defer_numerics=None, defer_transfers=None):
     """N accelerators with per-device links and disjoint device heaps.
 
     The survivable-topology variant: each device gets its own
@@ -147,7 +157,8 @@ def multi_device_system(devices=2, link_specs=None, trace=False,
     if devices < 1:
         raise ValueError(f"a multi-device system needs >= 1 device, got {devices}")
     return Machine(trace=trace, gpu_count=devices, link_specs=link_specs,
-                   multi_device=True, defer_numerics=defer_numerics)
+                   multi_device=True, defer_numerics=defer_numerics,
+                   defer_transfers=defer_transfers)
 
 
 def integrated_system(trace=False):

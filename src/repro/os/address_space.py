@@ -43,6 +43,12 @@ USER_TOP = 1 << 47
 class Mapping:
     """One anonymous mapping: backing bytes + per-page protections."""
 
+    #: Transfer-ledger plane (:class:`repro.hw.memory.MappingPlane`), bound
+    #: when this mapping backs a shared region on a deferred-transfer GPU;
+    #: None for plain mappings and in eager mode.  The access paths below
+    #: consult it duck-typed — :mod:`repro.os` never imports :mod:`repro.hw`.
+    plane = None
+
     def __init__(self, start, size, prot):
         if start % PAGE_SIZE != 0 or size % PAGE_SIZE != 0:
             raise AddressError(
@@ -350,9 +356,22 @@ class AddressSpace:
             )
         return mapping
 
+    def resolve(self, address, size):
+        """The mapping wholly containing ``[address, +size)``.
+
+        Public counterpart of the privileged access helpers for callers —
+        the driver's DMA entry points — that hand the mapping itself to
+        :func:`repro.hw.memory.copy_h2d`/``copy_d2h``.  Raises
+        :class:`AddressError` when the range crosses unmapped memory.
+        """
+        return self._require_mapped(address, size)
+
     def peek(self, address, size):
         """Read bytes ignoring protections (library-internal access)."""
         mapping = self._require_mapped(address, size)
+        plane = mapping.plane
+        if plane is not None:
+            plane.host_read(address - mapping.start, size)
         return bytes(mapping.slice_at(address, size))
 
     def peek_view(self, address, size):
@@ -363,6 +382,9 @@ class AddressSpace:
         writes.  Callers that need a stable snapshot use :meth:`peek`.
         """
         mapping = self._require_mapped(address, size)
+        plane = mapping.plane
+        if plane is not None:
+            plane.host_read(address - mapping.start, size)
         return memoryview(mapping.slice_at(address, size)).toreadonly()
 
     def poke(self, address, data):
@@ -373,11 +395,17 @@ class AddressSpace:
         """
         data = as_byte_array(data)
         mapping = self._require_mapped(address, len(data))
+        plane = mapping.plane
+        if plane is not None:
+            plane.host_write(address - mapping.start, len(data))
         mapping.slice_at(address, len(data))[:] = data
 
     def poke_fill(self, address, value, size):
         """memset ignoring protections."""
         mapping = self._require_mapped(address, size)
+        plane = mapping.plane
+        if plane is not None:
+            plane.host_write(address - mapping.start, size)
         mapping.slice_at(address, size)[:] = value & 0xFF
 
     def view(self, address, dtype, count):
@@ -385,4 +413,11 @@ class AddressSpace:
         dtype = np.dtype(dtype)
         size = dtype.itemsize * count
         mapping = self._require_mapped(address, size)
+        plane = mapping.plane
+        if plane is not None:
+            # The view is writable and escapes: fold pending entries in
+            # (read) and mark the range dirty (write), conservatively.
+            lo = address - mapping.start
+            plane.host_read(lo, size)
+            plane.host_write(lo, size)
         return mapping.slice_at(address, size).view(dtype)

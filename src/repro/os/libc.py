@@ -18,6 +18,12 @@ interposition:
 GMAC installs its overloads through :meth:`Libc.interpose`; each overload
 receives the default implementation so it can forward non-shared ranges
 unchanged, exactly like symbol interposition with ``dlsym(RTLD_NEXT)``.
+
+Every byte this layer moves flows through :class:`~repro.os.process.Process`
+/ :class:`~repro.os.address_space.AddressSpace` accessors, which notify a
+mapping's transfer-ledger plane (DESIGN.md §14): reads materialize pending
+device extents first, writes record dirty runs for the delta flush.  The
+veneer itself never needs ledger awareness.
 """
 
 from repro.util.errors import IoError, SegmentationFault

@@ -123,6 +123,9 @@ class Process:
         mapping = space.accessible_mapping(address, size, AccessKind.READ)
         if mapping is not None:
             lo = address - mapping.interval.start
+            plane = mapping.plane
+            if plane is not None:
+                plane.host_read(lo, size)
             out[:size] = mapping.backing[lo:lo + size]
             return size
 
@@ -146,6 +149,9 @@ class Process:
         mapping = space.accessible_mapping(address, size, AccessKind.WRITE)
         if mapping is not None and size:
             lo = address - mapping.interval.start
+            plane = mapping.plane
+            if plane is not None:
+                plane.host_write(lo, size)
             mapping.backing[lo:lo + size] = np.frombuffer(view, dtype=np.uint8)
             return
 

@@ -141,6 +141,49 @@ class TestR005AdHocPools:
         assert check(tmp_path, "size = engine.Pool\n") == []
 
 
+class TestR006DirectCopies:
+    def test_view_pair_copy_flags(self, tmp_path):
+        # The pre-ledger salvage idiom: device view into host view.
+        source = (
+            'space.view(host, "u1", n)[:] = '
+            'gpu.memory.view(dev, "u1", n)\n'
+        )
+        findings = check(tmp_path, source)
+        assert rules(findings) == ["R006"]
+        assert "copy_h2d/copy_d2h" in findings[0].message
+
+    def test_poke_of_device_read_flags(self, tmp_path):
+        source = "space.poke(host, ctx.gpu.memory.read(dev, n))\n"
+        assert rules(check(tmp_path, source)) == ["R006"]
+
+    def test_device_write_from_backing_flags(self, tmp_path):
+        source = "gpu.memory.write(dev, mapping.backing[lo:hi])\n"
+        assert rules(check(tmp_path, source)) == ["R006"]
+
+    def test_peek_view_into_device_fill_flags(self, tmp_path):
+        source = (
+            "ctx.gpu.memory.write(dev, space.peek_view(host, n))\n"
+        )
+        assert rules(check(tmp_path, source)) == ["R006"]
+
+    def test_ledger_core_owns_the_copies(self, tmp_path):
+        source = "gpu.memory.write(dev, mapping.backing[lo:hi])\n"
+        assert check(tmp_path, source, relative="hw/memory.py") == []
+
+    def test_single_plane_statements_are_fine(self, tmp_path):
+        assert check(tmp_path, "data = gpu.memory.read(dev, n)\n") == []
+        assert check(tmp_path, "space.poke(host, data)\n") == []
+        assert check(
+            tmp_path, "chunk = mapping.backing[lo:hi].copy()\n"
+        ) == []
+
+    def test_numpy_view_casts_are_fine(self, tmp_path):
+        # ``array.view("u1")`` on the device side alone is not a copy.
+        assert check(
+            tmp_path, 'words = gpu.memory.view(dev, "i4", n)\n'
+        ) == []
+
+
 class TestSuppression:
     def test_allow_comment_suppresses_exactly_that_rule(self, tmp_path):
         findings = check(

@@ -1,0 +1,122 @@
+"""Golden eager-vs-lazy equivalence for the transfer ledger.
+
+The transfer ledger's contract (DESIGN.md §14): deferring the byte
+movement of host<->device transfers — and flushing only dirty-subrange
+deltas — is *invisible*.  Every figure, trace, byte of device memory, and
+``SpecOutcome`` must be identical to an eager engine memcpying at
+transfer time.  This suite pins that contract across all three coherence
+protocols, mirrors ``test_deferred_equivalence.py`` for the numerics
+engine, and checks the comparison is not vacuous (the lazy runs really
+do elide copies).
+"""
+
+import pytest
+
+from repro.hw.machine import reference_system
+from repro.hw.memory import ledger_counters, reset_ledger_counters
+from repro.workloads.parboil import PARBOIL
+from repro.workloads.stencil3d import Stencil3D
+
+PROTOCOLS = ("batch", "lazy", "rolling")
+
+#: A transfer-heavy cross-section of the Table-2 workloads, at sizes that
+#: keep the full (workload x protocol x 2 engines) matrix fast.
+WORKLOADS = {
+    "pns": lambda: PARBOIL["pns"](
+        n_places=65536, iterations=12, sample_interval=4
+    ),
+    "cp": lambda: PARBOIL["cp"](grid_n=96, n_atoms=48),
+    "mri-q": lambda: PARBOIL["mri-q"](n_samples=48, n_voxels=16384),
+    "mri-fhd": lambda: PARBOIL["mri-fhd"](n_samples=4096, n_voxels=64),
+    "tpacf": lambda: PARBOIL["tpacf"](n_points=65536),
+    "stencil3d": lambda: Stencil3D(n=32, steps=8, dump_interval=4),
+}
+
+
+def _run(factory, protocol, defer):
+    reset_ledger_counters()
+    machine = reference_system(trace=True, defer_transfers=defer)
+    result = factory().execute(
+        mode="gmac", protocol=protocol, machine=machine,
+        gmac_options={"layer": "driver"},
+    )
+    machine.gpu.materialize()  # drain numerics before inspecting bytes
+    return result, machine, dict(ledger_counters())
+
+
+def _device_bytes(machine):
+    memory = machine.gpu.memory
+    return {
+        start: allocation.buffer.tobytes()
+        for start, allocation in memory._allocations.items()
+    }
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_transfer_ledger_is_invisible(self, name, protocol):
+        factory = WORKLOADS[name]
+        lazy, l_machine, l_counters = _run(factory, protocol, defer=True)
+        eager, e_machine, e_counters = _run(factory, protocol, defer=False)
+
+        assert lazy.verified and eager.verified
+        # Virtual time and its Figure-10 decomposition: the ledger charges
+        # link cost at transfer time exactly as the eager engine does.
+        assert lazy.elapsed == eager.elapsed
+        assert lazy.breakdown == eager.breakdown
+        # Figure-8 traffic and fault/signal counts (deferred transfers
+        # still count toward bytes_moved — only deferred_bytes differs).
+        assert lazy.bytes_to_accelerator == eager.bytes_to_accelerator
+        assert lazy.bytes_to_host == eager.bytes_to_host
+        assert lazy.faults == eager.faults
+        assert lazy.signals == eager.signals
+        # The full charged-interval trace, event for event.
+        assert l_machine.trace.events == e_machine.trace.events
+        # Device memory, byte for byte, allocation for allocation.
+        assert _device_bytes(l_machine) == _device_bytes(e_machine)
+        # Output files, byte for byte.
+        assert (lazy.extra["app"].fs._files
+                == eager.extra["app"].fs._files)
+        # And the comparison is not vacuous: the lazy engine recorded or
+        # skipped real bytes, the eager engine never touched the ledger.
+        assert (l_counters["bytes_deferred"] > 0
+                or l_counters["flush_bytes_skipped"] > 0), l_counters
+        assert e_counters["bytes_deferred"] == 0
+        assert e_counters["flush_bytes_skipped"] == 0
+        assert e_counters["bytes_materialized"] == 0
+
+    def test_ledger_actually_elides_under_batch(self):
+        """The headline claim: batch's fetch-everything rounds become
+        metadata.  (lazy/rolling only fetch what the host actually reads,
+        so they have nothing to elide — their win is the delta flush.)"""
+        _, _, counters = _run(WORKLOADS["pns"], "batch", defer=True)
+        assert counters["elided_fraction"] > 0.5, counters
+        assert counters["transfers_elided"] > 0
+        assert counters["flush_bytes_skipped"] > 0
+
+
+class TestSpecOutcomeEquivalence:
+    """Experiment-plane view: identical SpecOutcomes, field for field."""
+
+    def _specs(self):
+        from repro.experiments.executor import expand
+
+        specs = expand(["fig7"], quick=True)
+        picked, seen = [], set()
+        for spec in specs:
+            if spec.workload not in seen and spec.mode == "gmac":
+                seen.add(spec.workload)
+                picked.append(spec)
+        return picked
+
+    def test_outcomes_identical(self, monkeypatch):
+        import repro.hw.gpu as gpu_module
+
+        for spec in self._specs():
+            monkeypatch.setattr(gpu_module, "DEFAULT_DEFER_TRANSFERS", True)
+            lazy = spec.execute()
+            monkeypatch.setattr(gpu_module, "DEFAULT_DEFER_TRANSFERS", False)
+            eager = spec.execute()
+            assert lazy == eager, spec.key
+            assert lazy.canonical_bytes() == eager.canonical_bytes(), spec.key
