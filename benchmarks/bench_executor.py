@@ -37,12 +37,12 @@ def _timed_sweep(jobs, cache_dir, pool):
     common.clear_cache()
     executor = ExperimentExecutor(jobs=jobs, cache_dir=cache_dir, pool=pool)
     specs = expand(SWEEP, quick=True)
-    start = time.perf_counter()
+    start = time.perf_counter()  # sanitizer: allow[R003] - real wall time
     try:
         with executor.cache_context():
             executor.prime(specs)
     finally:
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # sanitizer: allow[R003]
         executor.close()
     common.clear_cache()
     return elapsed, executor.stats, executor.counters.snapshot()

@@ -25,6 +25,7 @@ import os
 from typing import Any, Dict, List, Optional
 
 from repro.analysis.checker import CoherenceModelChecker
+from repro.analysis.contracts import ContractMonitor
 from repro.analysis.races import RaceDetector
 from repro.analysis.report import (
     SanitizerViolation,
@@ -34,6 +35,7 @@ from repro.analysis.report import (
 
 __all__ = [
     "CoherenceModelChecker",
+    "ContractMonitor",
     "RaceDetector",
     "Sanitizer",
     "SanitizerViolation",
@@ -73,21 +75,38 @@ class Sanitizer:
         self.races = RaceDetector(gmac.machine.clock)
         gmac.accounting.coherence = self.checker
         self.races.attach(gmac)
+        #: Launch-time declaration verification, armed only when the
+        #: active protocol carries declared access modes: a wrong
+        #: annotation then becomes a precise violation instead of silent
+        #: corruption.
+        self.contracts: Optional[ContractMonitor] = None
+        modes = getattr(gmac.protocol, "modes", None)
+        if modes:
+            self.contracts = ContractMonitor(modes, gmac.machine.clock)
+            gmac.contract_monitor = self.contracts
 
     @property
     def violations(self) -> List[Violation]:
-        return self.checker.violations + self.races.violations
+        found = self.checker.violations + self.races.violations
+        if self.contracts is not None:
+            found = found + self.contracts.violations
+        return found
 
     def stats(self) -> Dict[str, int]:
         merged = dict(self.checker.stats())
         for key, value in self.races.stats().items():
             merged[f"race_{key}"] = value
+        if self.contracts is not None:
+            for key, value in self.contracts.stats().items():
+                merged[f"contract_{key}"] = value
         merged["violations"] = len(self.violations)
         return merged
 
     def detach(self) -> None:
         self.races.detach()
         self.gmac.accounting.coherence = None
+        if self.contracts is not None:
+            self.gmac.contract_monitor = None
 
     def finish(self, raise_on_violation: bool = True) -> List[Violation]:
         """Detach, persist the report, and (by default) die on violations."""

@@ -74,6 +74,10 @@ class _RegionModel:
         self.states = np.full(n_blocks, READ_ONLY_CODE, dtype=np.uint8)
         self.host_valid = np.ones(n_blocks, dtype=bool)
         self.device_valid = np.ones(n_blocks, dtype=bool)
+        #: Declared access mode ("rw" unless a ``mode`` event announced
+        #: otherwise); relaxes exactly the invariants a verified
+        #: declaration makes safe to relax.
+        self.mode = "rw"
 
 
 class CoherenceModelChecker:
@@ -126,6 +130,12 @@ class CoherenceModelChecker:
 
     def _on_limit(self, event: Any) -> None:
         self.rolling_limit = int(event.detail)
+
+    def _on_mode(self, event: Any) -> None:
+        """The declared protocol announced a region's access mode."""
+        model = self._model(event)
+        if model is not None:
+            model.mode = event.detail
 
     def _on_protocol(self, event: Any) -> None:
         if event.detail == "device-recovery":
@@ -205,7 +215,13 @@ class CoherenceModelChecker:
         lost = np.nonzero(
             (segment == DIRTY_CODE) & ~model.device_valid[lo:hi]
         )[0] + lo
-        if lost.size:
+        if lost.size and not (
+            event.detail == "wo-release" and model.mode == "wo"
+        ):
+            # A declared write-only release legitimately drops dirty host
+            # bytes: the kernel overwrites the whole object, so nothing
+            # the program will ever read is lost.  Any other invalidation
+            # of unflushed dirty blocks loses an update.
             self._flag(
                 event, "invalid-lost-update",
                 f"blocks {_span(lost)} invalidated while dirty: host writes "
@@ -354,6 +370,11 @@ class CoherenceModelChecker:
             name for name in event.detail.split(",") if name
         )
         for name, model in self.regions.items():
+            if model.mode == "none":
+                # Declared untouched by every kernel: dirty host blocks
+                # are legal across the launch and the device copy may lag
+                # forever — the kernel provably never observes either.
+                continue
             dirty = np.nonzero(model.states == DIRTY_CODE)[0]
             if dirty.size:
                 self._flag(

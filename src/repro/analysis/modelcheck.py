@@ -1,0 +1,576 @@
+"""Exhaustive small-scope model checking of the coherence protocols.
+
+The dynamic sanitizer (:mod:`repro.analysis.checker`) only judges the
+event streams real workloads happen to produce.  This module closes the
+gap the way small-scope model checkers do: it drives each *real*
+protocol implementation through every interleaving of a small action
+alphabet — host reads/writes on either block of a two-block object,
+device-side memsets, annotated and unannotated kernel launches, syncs,
+forced rolling evictions and peer-DMA owner moves — and feeds every
+resulting coherence event through the reference state machine.  A state
+is the pair (implementation claim, reference ground truth): the per-block
+Figure 6 codes, the checker's ``host_valid``/``device_valid`` bits and
+declared mode, the pending-launch count, rolling-update's dirty FIFO and
+limit, and each region's owning device.  BFS over action sequences with
+state-digest deduplication makes the exploration exhaustive up to the
+configured depth, and every invariant the checker knows is evaluated at
+every transition of every path.
+
+Two kinds of failure can surface:
+
+* a checker violation — some reachable interleaving makes a protocol
+  emit an event the reference model refutes; the offending path is kept
+  as a :class:`Counterexample` whose recorded event stream replays
+  through a fresh checker (``counterexample.replay()``) to reproduce the
+  exact violations without re-running the protocol;
+* a crash — an action raised where its guard said it was legal.
+
+:func:`selfcheck` is the checker's own proof of teeth: one hand-built
+minimal event stream per safety rule, each asserted to fire.  Exploring
+a protocol whose checker has silently lost an invariant would prove
+nothing — the seeded-bug harness (:mod:`repro.analysis.mutations`)
+weakens an invariant and expects this selfcheck to notice.
+
+Run ``python -m repro.analysis.modelcheck`` to explore all four
+protocols; ``--min-states``/``--min-transitions`` turn the reported
+coverage into CI floors.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.os.paging import PAGE_SIZE, AccessKind
+from repro.hw.machine import multi_device_system, reference_system
+from repro.cuda.kernels import Kernel
+from repro.sim.tracing import CoherenceEvent
+from repro.workloads.base import Application
+from repro.analysis.checker import CoherenceModelChecker
+from repro.analysis.report import Violation
+
+#: Every safety rule the reference checker can fire, in checker order.
+CHECKER_RULES = (
+    "dirty-stale-host",
+    "ro-stale-host",
+    "ro-stale-device",
+    "invalid-lost-update",
+    "rolling-bound",
+    "flush-stale-host",
+    "barrier-bypass",
+    "fetch-stale-device",
+    "fetch-clobber",
+    "evict-order",
+    "peer-stale-host",
+    "peer-lost-data",
+    "call-dirty",
+    "call-stale-device",
+    "call-written-valid",
+    "sync-missing-fetch",
+)
+
+
+# -- the probe kernel -------------------------------------------------------------
+
+_NX = (2 * PAGE_SIZE) // 4
+_NY = PAGE_SIZE // 4
+
+
+def _mc_fn(gpu, x, y, nx, ny):
+    vx = gpu.view(x, "f4", nx)
+    vy = gpu.view(y, "f4", ny)
+    vy[:] = vx[:ny]
+
+
+#: One reader/writer kernel: reads both blocks of ``x``, overwrites all
+#: of ``y`` — enough to exercise every release/acquire edge.
+MC_PROBE = Kernel(
+    "mc-probe",
+    _mc_fn,
+    cost=lambda x, y, nx, ny: (nx, 4 * (nx + ny)),
+    writes=("y",),
+)
+
+
+# -- configurations ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """One protocol instance plus the action alphabet used to drive it."""
+
+    name: str
+    protocol: str
+    actions: Tuple[str, ...]
+    protocol_options: Tuple[Tuple[str, Any], ...] = ()
+    devices: int = 1
+    #: Action-sequence bound.  The default depths are one past each
+    #: configuration's measured saturation point — BFS discovers no new
+    #: state digest at the final level — so the default run is exhaustive
+    #: for this scope, not merely deep.
+    depth: int = 8
+
+
+_COMMON_ACTIONS = (
+    "host-write-x0",
+    "host-write-x1",
+    "host-read-x0",
+    "host-write-y",
+    "host-read-y",
+    "memset-y",
+    "call",
+    "call-annotated",
+    "sync",
+)
+
+#: The exhaustive sweep: all four protocols, plus a two-device lazy
+#: configuration where kernel placement and explicit migration move
+#: region ownership over peer DMA.
+CONFIGS = (
+    ModelConfig("batch", "batch", _COMMON_ACTIONS),
+    ModelConfig("lazy", "lazy", _COMMON_ACTIONS),
+    ModelConfig(
+        "rolling", "rolling", _COMMON_ACTIONS + ("evict",),
+        protocol_options=(("block_size", PAGE_SIZE), ("rolling_size", 1)),
+    ),
+    ModelConfig(
+        "declared", "declared", _COMMON_ACTIONS,
+        protocol_options=(("modes", (("x", "ro"), ("y", "wo"))),),
+    ),
+    ModelConfig(
+        "lazy-2dev", "lazy",
+        ("host-write-x0", "host-write-y", "host-read-y", "call", "sync",
+         "migrate-x"),
+        devices=2,
+        depth=7,
+    ),
+)
+
+
+class _Recorder:
+    """Event sink that both records the stream and checks it live."""
+
+    def __init__(self, protocol: str) -> None:
+        self.events: List[CoherenceEvent] = []
+        self.checker = CoherenceModelChecker()
+        self.checker.configure(protocol)
+
+    def record(self, event: CoherenceEvent) -> None:
+        self.events.append(event)
+        self.checker.record(event)
+
+
+class _Context:
+    """One fresh machine + GMAC instance, replayable from an action path."""
+
+    def __init__(self, config: ModelConfig) -> None:
+        if config.devices > 1:
+            machine = multi_device_system(devices=config.devices)
+        else:
+            machine = reference_system()
+        self.app = Application(machine)
+        self.recorder = _Recorder(config.protocol)
+        options = {
+            key: dict(value) if isinstance(value, tuple) and value
+            and isinstance(value[0], tuple) else value
+            for key, value in config.protocol_options
+        }
+        self.gmac = self.app.gmac(
+            protocol=config.protocol, layer="driver",
+            protocol_options=options,
+        )
+        # Attach before the allocations so their events reach the model.
+        self.gmac.accounting.coherence = self.recorder
+        self.x = self.gmac.alloc(2 * PAGE_SIZE, name="x")
+        self.y = self.gmac.alloc(PAGE_SIZE, name="y")
+
+    @property
+    def idle(self) -> bool:
+        return not self.gmac._pending
+
+    def apply(self, action: str) -> None:
+        _ACTIONS[action].apply(self)
+
+
+@dataclass(frozen=True)
+class _Action:
+    guard: Callable[[_Context], bool]
+    apply: Callable[[_Context], None]
+
+
+def _touch(kind: AccessKind, offset: int, ptr: str) -> Callable[[_Context], None]:
+    def run(ctx: _Context) -> None:
+        base = int(ctx.x if ptr == "x" else ctx.y)
+        ctx.app.process.touch(base + offset, 64, kind)
+    return run
+
+
+def _call(annotated: bool) -> Callable[[_Context], None]:
+    def run(ctx: _Context) -> None:
+        writes = (ctx.y,) if annotated else None
+        ctx.gmac.call(MC_PROBE, writes=writes, x=ctx.x, y=ctx.y,
+                      nx=_NX, ny=_NY)
+    return run
+
+
+def _migrate(ctx: _Context) -> None:
+    region = ctx.x.region
+    ctx.gmac.manager.migrate_region(
+        region, (region.owner + 1) % 2, reason="modelcheck"
+    )
+
+
+#: Guards admit exactly the sequences a correct program may issue: host
+#: accesses and bulk ops only outside kernel windows (in-window accesses
+#: are the race detector's domain, not the protocol's), syncs only with
+#: work in flight, at most two overlapping launches.
+_ACTIONS: Dict[str, _Action] = {
+    "host-write-x0": _Action(
+        lambda ctx: ctx.idle, _touch(AccessKind.WRITE, 0, "x")),
+    "host-write-x1": _Action(
+        lambda ctx: ctx.idle, _touch(AccessKind.WRITE, PAGE_SIZE, "x")),
+    "host-read-x0": _Action(
+        lambda ctx: ctx.idle, _touch(AccessKind.READ, 0, "x")),
+    "host-write-y": _Action(
+        lambda ctx: ctx.idle, _touch(AccessKind.WRITE, 0, "y")),
+    "host-read-y": _Action(
+        lambda ctx: ctx.idle, _touch(AccessKind.READ, 0, "y")),
+    "memset-y": _Action(
+        lambda ctx: ctx.idle,
+        lambda ctx: ctx.gmac.memset(ctx.y, 0, PAGE_SIZE)),
+    "call": _Action(
+        lambda ctx: len(ctx.gmac._pending) < 2, _call(annotated=False)),
+    "call-annotated": _Action(
+        lambda ctx: len(ctx.gmac._pending) < 2, _call(annotated=True)),
+    "sync": _Action(
+        lambda ctx: len(ctx.gmac._pending) > 0,
+        lambda ctx: ctx.gmac.sync()),
+    "evict": _Action(
+        lambda ctx: ctx.idle,
+        lambda ctx: ctx.gmac.protocol.force_evict()),
+    "migrate-x": _Action(
+        lambda ctx: ctx.idle, _migrate),
+}
+
+
+def _digest(ctx: _Context) -> Tuple[Any, ...]:
+    """The explored state: implementation claims + reference ground truth."""
+    regions = []
+    for region in sorted(ctx.gmac.manager.regions(), key=lambda r: r.name):
+        model = ctx.recorder.checker.regions.get(region.name)
+        regions.append((
+            region.name,
+            region.table.states.tobytes(),
+            int(region.owner),
+            model.host_valid.tobytes() if model is not None else b"",
+            model.device_valid.tobytes() if model is not None else b"",
+            model.mode if model is not None else "",
+        ))
+    protocol = ctx.gmac.protocol
+    fifo = getattr(protocol, "_dirty", None)
+    return (
+        tuple(regions),
+        len(ctx.gmac._pending),
+        tuple((b.region.name, b.index) for b in fifo)
+        if fifo is not None else (),
+        getattr(protocol, "rolling_size", None),
+    )
+
+
+# -- results ----------------------------------------------------------------------
+
+
+@dataclass
+class Counterexample:
+    """One failing action sequence, replayable from its event stream."""
+
+    config: str
+    protocol: str
+    actions: Tuple[str, ...]
+    events: Tuple[CoherenceEvent, ...]
+    violations: Tuple[Violation, ...]
+    crash: str = ""
+
+    def replay(self) -> List[Violation]:
+        """Re-derive the violations from the recorded events alone."""
+        checker = CoherenceModelChecker()
+        checker.configure(self.protocol)
+        for event in self.events:
+            checker.record(event)
+        return checker.violations
+
+    def render(self) -> str:
+        lines = [f"counterexample [{self.config}]: "
+                 + " -> ".join(self.actions)]
+        if self.crash:
+            lines.append(f"  crash: {self.crash}")
+        for violation in self.violations:
+            lines.append(f"  {violation.rule}: {violation.message}")
+        lines.append("  event stream:")
+        for event in self.events:
+            span = (f" {event.region}[{event.first}..{event.last}]"
+                    if event.region else "")
+            extra = f" {event.state}" if event.state else ""
+            detail = f" ({event.detail})" if event.detail else ""
+            lines.append(f"    {event.kind}{span}{extra}{detail}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ExplorationResult:
+    """Coverage and verdict for one configuration's BFS."""
+
+    config: ModelConfig
+    states: int
+    transitions: int
+    counterexamples: List[Counterexample] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.counterexamples
+
+
+def _run_path(
+    config: ModelConfig, path: Tuple[str, ...]
+) -> Tuple[_Context, Optional[BaseException]]:
+    ctx = _Context(config)
+    try:
+        for action in path:
+            ctx.apply(action)
+    except Exception as exc:  # noqa: BLE001 - a crash IS the finding
+        return ctx, exc
+    return ctx, None
+
+
+def _enabled(config: ModelConfig, ctx: _Context) -> Tuple[str, ...]:
+    return tuple(
+        name for name in config.actions if _ACTIONS[name].guard(ctx)
+    )
+
+
+def explore(config: ModelConfig) -> ExplorationResult:
+    """BFS the protocol's reachable states up to ``config.depth`` actions.
+
+    Each transition replays its whole path on a fresh machine —
+    deterministic simulation makes replay exact — so exploration needs no
+    snapshot/restore support from the runtime.  Paths that violate an
+    invariant (or crash) become counterexamples and are not expanded;
+    states already seen (by digest) are not re-expanded.
+    """
+    root = _Context(config)
+    result = ExplorationResult(config, states=1, transitions=0)
+    seen = {_digest(root)}
+    frontier: deque = deque([((), _enabled(config, root))])
+    while frontier:
+        path, enabled = frontier.popleft()
+        if len(path) >= config.depth:
+            continue
+        for action in enabled:
+            extended = path + (action,)
+            ctx, crash = _run_path(config, extended)
+            result.transitions += 1
+            violations = ctx.recorder.checker.violations
+            if crash is not None or violations:
+                result.counterexamples.append(Counterexample(
+                    config.name, config.protocol, extended,
+                    tuple(ctx.recorder.events), tuple(violations),
+                    crash=repr(crash) if crash is not None else "",
+                ))
+                continue
+            key = _digest(ctx)
+            if key not in seen:
+                seen.add(key)
+                result.states += 1
+                frontier.append((extended, _enabled(config, ctx)))
+    return result
+
+
+# -- checker selfcheck ------------------------------------------------------------
+
+
+def _selfcheck_streams() -> Dict[str, List[CoherenceEvent]]:
+    """One minimal synthetic event stream per checker rule."""
+    E = CoherenceEvent
+
+    def alloc(blocks: int = 2) -> CoherenceEvent:
+        return E("alloc", 0.0, "r", 0, blocks - 1)
+
+    return {
+        "dirty-stale-host": [
+            alloc(),
+            E("transition", 1.0, "r", 0, 0, state="invalid"),
+            E("transition", 2.0, "r", 0, 0, state="dirty"),
+        ],
+        "ro-stale-host": [
+            alloc(),
+            E("transition", 1.0, "r", 0, 0, state="invalid"),
+            E("transition", 2.0, "r", 0, 0, state="read-only"),
+        ],
+        "ro-stale-device": [
+            alloc(),
+            E("transition", 1.0, "r", 0, 0, state="dirty"),
+            E("transition", 2.0, "r", 0, 0, state="read-only"),
+        ],
+        "invalid-lost-update": [
+            alloc(),
+            E("transition", 1.0, "r", 0, 0, state="dirty"),
+            E("transition", 2.0, "r", 0, 0, state="invalid"),
+        ],
+        "rolling-bound": [
+            E("protocol", 0.0, detail="rolling"),
+            alloc(4),
+            E("limit", 0.0, detail="1"),
+            E("transition", 1.0, "r", 0, 2, state="dirty"),
+        ],
+        "flush-stale-host": [
+            alloc(),
+            E("transition", 1.0, "r", 0, 0, state="invalid"),
+            E("flush", 2.0, "r", 0, 0),
+        ],
+        "barrier-bypass": [
+            alloc(),
+            E("fetch", 1.0, "r", 0, 0, detail="pending=2"),
+        ],
+        "fetch-stale-device": [
+            alloc(),
+            E("transition", 1.0, "r", 0, 0, state="dirty"),
+            E("fetch", 2.0, "r", 0, 0),
+        ],
+        "fetch-clobber": [
+            alloc(),
+            E("transition", 1.0, "r", 0, 0, state="dirty"),
+            E("fetch", 2.0, "r", 0, 0),
+        ],
+        "evict-order": [
+            E("protocol", 0.0, detail="rolling"),
+            alloc(4),
+            E("limit", 0.0, detail="4"),
+            E("transition", 1.0, "r", 0, 1, state="dirty"),
+            E("evict", 2.0, "r", 1, 1, detail="eager"),
+        ],
+        "peer-stale-host": [
+            alloc(),
+            E("transition", 1.0, "r", 0, 0, state="invalid"),
+            E("peer", 2.0, "r", 0, 1, detail="host:0->1"),
+        ],
+        "peer-lost-data": [
+            alloc(),
+            E("transition", 1.0, "r", 0, 0, state="invalid"),
+            E("protocol", 2.0, detail="device-recovery"),
+            E("peer", 3.0, "r", 0, 1, detail="dma:0->1"),
+        ],
+        "call-dirty": [
+            alloc(),
+            E("transition", 1.0, "r", 0, 0, state="dirty"),
+            E("call", 2.0, detail="*"),
+        ],
+        "call-stale-device": [
+            alloc(),
+            E("protocol", 1.0, detail="device-recovery"),
+            E("call", 2.0, detail="*"),
+        ],
+        "call-written-valid": [
+            alloc(),
+            E("call", 1.0, detail="r"),
+        ],
+        "sync-missing-fetch": [
+            E("protocol", 0.0, detail="batch"),
+            alloc(),
+            E("transition", 1.0, "r", 0, 0, state="invalid"),
+            E("sync", 2.0),
+        ],
+    }
+
+
+def selfcheck() -> List[str]:
+    """Prove every checker rule still fires; returns the silent ones.
+
+    An empty list means all :data:`CHECKER_RULES` detected their
+    hand-built minimal violation.  A non-empty list means the checker
+    has lost teeth — exploration results can no longer be trusted, and
+    the mutation harness treats exactly this as a caught seeded bug.
+    """
+    missed: List[str] = []
+    for rule, events in _selfcheck_streams().items():
+        checker = CoherenceModelChecker()
+        for event in events:
+            checker.record(event)
+        if rule not in {violation.rule for violation in checker.violations}:
+            missed.append(rule)
+    return missed
+
+
+# -- CLI --------------------------------------------------------------------------
+
+
+def run_all(depth: Optional[int] = None) -> List[ExplorationResult]:
+    """Explore every configuration (optionally overriding the depth)."""
+    results = []
+    for config in CONFIGS:
+        if depth is not None:
+            config = ModelConfig(
+                config.name, config.protocol, config.actions,
+                config.protocol_options, config.devices,
+                min(depth, config.depth),
+            )
+        results.append(explore(config))
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="exhaustively model-check the coherence protocols"
+    )
+    parser.add_argument("--depth", type=int, default=None,
+                        help="cap the BFS depth of every configuration")
+    parser.add_argument("--min-states", type=int, default=0,
+                        help="fail unless at least this many distinct "
+                             "states were explored in total")
+    parser.add_argument("--min-transitions", type=int, default=0,
+                        help="fail unless at least this many transitions "
+                             "were checked in total")
+    args = parser.parse_args(argv)
+
+    missed = selfcheck()
+    if missed:
+        print(f"selfcheck: FAILED — silent rules: {', '.join(missed)}")
+    else:
+        print(f"selfcheck: all {len(CHECKER_RULES)} checker rules fire")
+
+    results = run_all(depth=args.depth)
+    total_states = total_transitions = 0
+    failed = bool(missed)
+    print(f"{'config':<12} {'protocol':<10} {'depth':>5} {'states':>8} "
+          f"{'transitions':>12} verdict")
+    for result in results:
+        total_states += result.states
+        total_transitions += result.transitions
+        verdict = "ok" if result.ok else (
+            f"{len(result.counterexamples)} counterexample(s)"
+        )
+        print(f"{result.config.name:<12} {result.config.protocol:<10} "
+              f"{result.config.depth:>5} {result.states:>8} "
+              f"{result.transitions:>12} {verdict}")
+        if not result.ok:
+            failed = True
+    print(f"{'total':<12} {'':<10} {'':>5} {total_states:>8} "
+          f"{total_transitions:>12}")
+    for result in results:
+        for counterexample in result.counterexamples[:4]:
+            print()
+            print(counterexample.render())
+    if args.min_states and total_states < args.min_states:
+        print(f"FAIL: explored {total_states} states "
+              f"< floor {args.min_states}")
+        failed = True
+    if args.min_transitions and total_transitions < args.min_transitions:
+        print(f"FAIL: checked {total_transitions} transitions "
+              f"< floor {args.min_transitions}")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

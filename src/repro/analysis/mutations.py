@@ -28,6 +28,7 @@ import numpy as np
 
 from repro import analysis
 from repro.analysis import SanitizerViolation, Violation, attach_sanitizer
+from repro.analysis.checker import CoherenceModelChecker
 from repro.analysis.report import write_report
 from repro.core.api import Gmac
 from repro.core.blocks import BlockState, INVALID_CODE
@@ -41,6 +42,7 @@ from repro.hw.interconnect import Direction
 from repro.hw.machine import reference_system
 from repro.os.paging import AccessKind, Prot
 from repro.util.units import KB
+from repro.workloads.vecadd import VectorAdd
 
 #: Patch target: (owner class, attribute name, replacement callable).
 Patch = Tuple[type, str, Any]
@@ -55,8 +57,6 @@ Patch = Tuple[type, str, Any]
 def _run_vecadd(protocol: str,
                 options: Dict[str, Any] | None = None) -> List[Violation]:
     """One sanitized vecadd run; returns the violations it raised."""
-    from repro.workloads.vecadd import VectorAdd
-
     previous = os.environ.get(analysis.ENABLE_ENV)
     analysis.enable()
     try:
@@ -87,6 +87,33 @@ def _scenario_lazy() -> List[Violation]:
 
 def _scenario_batch() -> List[Violation]:
     return _run_vecadd("batch", {"layer": "driver"})
+
+
+def _scenario_declared() -> List[Violation]:
+    # execute() injects VectorAdd.declared_modes into the protocol, and
+    # the sanitizer arms a ContractMonitor whenever the protocol carries
+    # modes — so a wrong declaration is flagged at the launch boundary.
+    return _run_vecadd("declared", {"layer": "driver"})
+
+
+def _scenario_modelcheck() -> List[Violation]:
+    """Model-checker self-proof: every rule's minimal stream must flag.
+
+    :func:`repro.analysis.modelcheck.selfcheck` replays one hand-built
+    minimal violating event stream per checker rule.  A rule that stays
+    silent means the checker lost teeth — surfaced here as a violation so
+    the harness scores weakened invariants like any other seeded bug.
+    """
+    from repro.analysis import modelcheck
+
+    return [
+        Violation(
+            source="modelcheck", rule="selfcheck-missed", time=0.0,
+            message=f"minimal violating stream for {rule!r} went unflagged",
+            region=rule,
+        )
+        for rule in modelcheck.selfcheck()
+    ]
 
 
 def _copy_fn(gpu: Any, a: int, c: int, n: int) -> None:
@@ -236,6 +263,26 @@ def _memcpy_d2h_direct(self: Any, host: int, device: int, size: int,
     return completion
 
 
+#: Bug 11: the programmer mislabels the kernel's output as read-only.
+#: The static contract (``infer_kernel_contract``) proves the kernel
+#: writes ``c``, so the launch-time ContractMonitor must reject the
+#: declaration before the elided transfers can corrupt the output.
+_WRONG_VECADD_MODES = {"a": "ro", "b": "ro", "c": "ro"}
+
+
+def _invalidate_without_lost_update_check(self: Any, event: Any, model: Any,
+                                          lo: int, hi: int) -> None:
+    """Bug 12: invalidation forgets the lost-update audit.
+
+    The weakened checker still mirrors the state change (so every other
+    rule keeps passing) but never inspects the dirty blocks it is about
+    to drop — exactly the kind of silent invariant rot the model
+    checker's self-check exists to catch.
+    """
+    model.device_valid[lo:hi] = True
+    model.host_valid[lo:hi] = False
+
+
 @dataclass(frozen=True)
 class Mutation:
     name: str
@@ -317,6 +364,21 @@ MUTATIONS: Tuple[Mutation, ...] = (
         _scenario_batch,
         ((DriverContext, "memcpy_d2h", _memcpy_d2h_direct),),
     ),
+    Mutation(
+        "wrong-mode-declaration",
+        "workload declares its kernel-written output read-only",
+        ("wrong-mode-declaration",),
+        _scenario_declared,
+        ((VectorAdd, "declared_modes", _WRONG_VECADD_MODES),),
+    ),
+    Mutation(
+        "modelcheck-invariant-weakened",
+        "checker drops the lost-update audit on invalidation",
+        ("selfcheck-missed",),
+        _scenario_modelcheck,
+        ((CoherenceModelChecker, "_check_to_invalid",
+          _invalidate_without_lost_update_check),),
+    ),
 )
 
 
@@ -362,7 +424,7 @@ def run_all() -> Tuple[List[Outcome], List[str]]:
     false_positives = []
     for scenario in (
         _scenario_rolling, _scenario_lazy, _scenario_batch,
-        _scenario_annotated_lazy,
+        _scenario_annotated_lazy, _scenario_declared, _scenario_modelcheck,
     ):
         clean = scenario()
         if clean:

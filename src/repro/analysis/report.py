@@ -22,9 +22,24 @@ from repro.util.errors import ReproError
 #: Directory for JSON violation reports; unset means no files are written.
 REPORT_DIR_ENV = "REPRO_SANITIZE_REPORT"
 
+#: Writer identity inside report file names.  Unset, a process writes as
+#: ``pid<os.getpid()>`` — fine for solo runs, but under the persistent
+#: worker pool a respawned worker can recycle a predecessor's pid and
+#: silently clobber its reports.  The pool therefore stamps each worker
+#: incarnation with a unique ``w<id>-<spawn-serial>`` token at startup.
+REPORT_TOKEN_ENV = "REPRO_SANITIZE_TOKEN"
+
+#: Name of the aggregated report the pool parent writes at shutdown.
+MERGED_REPORT = "violations-merged.json"
+
 #: Per-process report counter, so one process writing several reports
 #: never needs wall-clock entropy for unique file names.
 _report_seq = 0
+
+
+def writer_token() -> str:
+    """This process's identity inside report file names."""
+    return os.environ.get(REPORT_TOKEN_ENV) or f"pid{os.getpid()}"
 
 
 @dataclass(frozen=True)
@@ -86,16 +101,71 @@ def write_report(context: str, violations: Sequence[Violation],
     if not directory or not violations:
         return None
     os.makedirs(directory, exist_ok=True)
-    _report_seq += 1
     slug = re.sub(r"[^A-Za-z0-9._-]+", "_", context).strip("_") or "run"
-    path = os.path.join(
-        directory, f"violations-{os.getpid()}-{_report_seq}-{slug}.json"
-    )
     payload = {
         "context": context,
+        "writer": writer_token(),
         "violations": [asdict(violation) for violation in violations],
         "stats": dict(stats or {}),
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-    return path
+    # O_EXCL creation: even if two writers ever share a token (a stale
+    # environment, a recycled pid), the loser advances its sequence
+    # instead of overwriting the winner's report.
+    while True:
+        _report_seq += 1
+        path = os.path.join(
+            directory,
+            f"violations-{writer_token()}-{_report_seq}-{slug}.json",
+        )
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            continue
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        return path
+
+
+def merge_reports(directory: Optional[str] = None) -> Optional[str]:
+    """Aggregate every per-writer report into one ``violations-merged.json``.
+
+    The persistent worker pool calls this at shutdown so CI uploads one
+    artifact summarizing all workers.  Individual reports are left in
+    place (the merge is an index, not a replacement).  Returns the merged
+    path, or None when the directory is unset/empty of reports.
+    """
+    directory = directory or os.environ.get(REPORT_DIR_ENV)
+    if not directory or not os.path.isdir(directory):
+        return None
+    reports = []
+    for name in sorted(os.listdir(directory)):
+        if not name.startswith("violations-") or name == MERGED_REPORT:
+            continue
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        payload["file"] = name
+        reports.append(payload)
+    if not reports:
+        return None
+    by_rule: dict[str, int] = {}
+    for payload in reports:
+        for violation in payload.get("violations", ()):
+            rule = violation.get("rule", "?")
+            by_rule[rule] = by_rule.get(rule, 0) + 1
+    merged_path = os.path.join(directory, MERGED_REPORT)
+    merged = {
+        "reports": reports,
+        "report_count": len(reports),
+        "violation_count": sum(by_rule.values()),
+        "violations_by_rule": by_rule,
+        "writers": sorted({p.get("writer", "?") for p in reports}),
+    }
+    with open(merged_path, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+    return merged_path

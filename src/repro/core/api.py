@@ -146,6 +146,10 @@ class Gmac:
         #: :class:`repro.analysis.races.RaceDetector`); None — the default —
         #: keeps every boundary below a single attribute test.
         self.monitor = None
+        #: Optional launch-time declaration checker (see
+        #: :class:`repro.analysis.contracts.ContractMonitor`), armed by the
+        #: sanitizer when the active protocol carries declared modes.
+        self.contract_monitor = None
 
     # -- Table 1 -------------------------------------------------------------------
 
@@ -179,12 +183,22 @@ class Gmac:
             written = {self.manager.region_at(int(ptr)) for ptr in writes}
             if None in written:
                 raise GmacError("writes annotation names a non-shared pointer")
+        # Declaration-driven protocols resolve an unannotated launch from
+        # their per-object modes (a no-op for the Figure 6 protocols).
+        written = self.protocol.call_written(written)
         if self.recovery is not None:
             return self.recovery.run_call(self, kernel, written, args)
         return self._issue_call(kernel, written, args)
 
     def _issue_call(self, kernel, written, args):
         """One attempt at the release+launch sequence (no recovery)."""
+        contract_monitor = self.contract_monitor
+        if contract_monitor is not None:
+            contract_monitor.on_launch(kernel, {
+                key: value.region
+                for key, value in args.items()
+                if isinstance(value, SharedPtr)
+            })
         monitor = self.monitor
         if monitor is not None:
             monitor.enter_internal()

@@ -294,11 +294,17 @@ class Manager:
             start, table.end_of(index) - start, prot
         )
 
-    def set_region_blocks(self, region, state, prot):
-        """Bulk state+protection change for a whole region (one mprotect)."""
+    def set_region_blocks(self, region, state, prot, detail=""):
+        """Bulk state+protection change for a whole region (one mprotect).
+
+        ``detail`` tags the transition event (e.g. ``wo-release`` for a
+        declared write-only release, which the checker treats specially).
+        """
         region.table.fill(state)
         self.accounting.count_transitions(region.table.n_blocks)
-        self._note_transition(region, 0, region.table.n_blocks - 1, state)
+        self._note_transition(
+            region, 0, region.table.n_blocks - 1, state, detail
+        )
         self.set_prot(region.interval, prot)
 
     def set_blocks_range(self, blocks, state, prot):

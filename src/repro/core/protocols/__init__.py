@@ -10,10 +10,17 @@ coherence actions (the ADSM asymmetry).  Each refines the previous one:
 * :class:`~repro.core.protocols.rolling.RollingUpdate` — fault-driven
   tracking at block granularity with a bounded dirty-block cache and eager
   asynchronous eviction.
+
+A fourth protocol goes beyond the paper's Figure 6:
+
+* :class:`~repro.core.protocols.declared.DeclaredModes` — lazy-update
+  refined by verified per-object access-mode declarations (the Section
+  4.3 annotation hook promoted to a load-time contract).
 """
 
 from repro.core.protocols.base import Protocol
 from repro.core.protocols.batch import BatchUpdate
+from repro.core.protocols.declared import DeclaredModes
 from repro.core.protocols.lazy import LazyUpdate
 from repro.core.protocols.rolling import RollingUpdate
 
@@ -22,6 +29,10 @@ PROTOCOLS = {
     BatchUpdate.name: BatchUpdate,
     LazyUpdate.name: LazyUpdate,
     RollingUpdate.name: RollingUpdate,
+    DeclaredModes.name: DeclaredModes,
 }
 
-__all__ = ["Protocol", "BatchUpdate", "LazyUpdate", "RollingUpdate", "PROTOCOLS"]
+__all__ = [
+    "Protocol", "BatchUpdate", "DeclaredModes", "LazyUpdate",
+    "RollingUpdate", "PROTOCOLS",
+]

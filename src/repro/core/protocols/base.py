@@ -48,6 +48,17 @@ class Protocol(abc.ABC):
     def post_sync(self, regions):
         """Re-acquire shared objects after kernel return (adsmSync)."""
 
+    def call_written(self, written):
+        """Resolve the effective written-region set for one launch.
+
+        ``written`` is the caller's ``writes=`` annotation (None when
+        unannotated).  Declaration-driven protocols refine an unannotated
+        launch from their per-object modes so the release, the coherence
+        event stream and the race detector all agree on what the kernel
+        may write; the default trusts the caller's annotation as-is.
+        """
+        return written
+
     #: Whether bulk memory operations on shared data may be routed to
     #: device-side calls (cudaMemset/cudaMemcpy).  Requires fault-driven
     #: refetching, so batch-update opts out.

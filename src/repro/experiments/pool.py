@@ -131,7 +131,13 @@ def _worker_main(worker_id, token, tasks, results, slab_name, slab_size,
     cost-aware scheduler's timing records.
     """
     from repro.util.hostalloc import retain_arena
+    from repro.analysis.report import REPORT_TOKEN_ENV
 
+    # Sanitize reports: each worker incarnation writes under its own
+    # token.  Pids recycle across respawns (and collide with unrelated
+    # processes), so pid-named files could silently clobber a crashed
+    # predecessor's report; ``w<id>-<spawn-serial>`` never repeats.
+    os.environ[REPORT_TOKEN_ENV] = f"w{worker_id}-{token}"
     retain_arena()
     rebuilt = 0
     if start_method != "fork":
@@ -296,6 +302,12 @@ class PersistentWorkerPool:
             self._results.join_thread()
             self._results = None
         self.started = False
+        if os.environ.get("REPRO_SANITIZE_REPORT"):
+            # All workers are down: fold their per-incarnation reports
+            # into one artifact for CI to upload.
+            from repro.analysis.report import merge_reports
+
+            merge_reports()
 
     @staticmethod
     def _retire(worker):

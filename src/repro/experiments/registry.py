@@ -15,6 +15,7 @@ from repro.experiments import (
     motivation,
     ablations,
     chaos,
+    contracts,
     failover,
 )
 
@@ -33,6 +34,7 @@ REGISTRY = {
     "motivation": motivation,
     "ablations": ablations,
     "chaos": chaos,
+    "contracts": contracts,
     "failover": failover,
 }
 

@@ -15,7 +15,7 @@ from repro.experiments.registry import REGISTRY, run_experiment
 SECTION_ORDER = [
     "motivation", "fig2", "tab2", "porting",
     "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "ablations", "chaos", "failover",
+    "ablations", "contracts", "chaos", "failover",
 ]
 
 

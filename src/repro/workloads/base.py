@@ -231,7 +231,18 @@ class Workload(abc.ABC):
         start = machine.clock.now
         sanitizer = None
         if mode == "gmac":
-            gmac = app.gmac(protocol=protocol, **(gmac_options or {}))
+            gmac_options = dict(gmac_options or {})
+            if protocol == "declared":
+                # The declared protocol consumes the workload's verified
+                # @access_modes contract; injecting it here keeps specs
+                # and experiments protocol-name-only (modes are a pure
+                # function of the workload class, so cache keys hold).
+                declared = getattr(type(self), "declared_modes", None)
+                if declared:
+                    options = dict(gmac_options.get("protocol_options") or {})
+                    options.setdefault("modes", dict(declared))
+                    gmac_options["protocol_options"] = options
+            gmac = app.gmac(protocol=protocol, **gmac_options)
             sanitizer = self._sanitizer_for(gmac, protocol)
             try:
                 outputs = self.run_gmac(app, gmac)

@@ -12,6 +12,7 @@ dumped once — is what Figures 7/8/10 depend on).
 
 import numpy as np
 
+from repro.analysis.contracts import access_modes
 from repro.cuda import backend
 from repro.cuda.kernels import Kernel
 from repro.workloads.base import Workload, ValueMemo, memoized_input
@@ -120,6 +121,7 @@ CP_KERNEL = Kernel(
 )
 
 
+@access_modes(atoms="ro", grid="wo")
 class CoulombicPotential(Workload):
     name = "cp"
     description = "coulombic potential over one plane of a 3D grid"

@@ -10,6 +10,7 @@ levels of I/O read activities" that would benefit from peer DMA.
 
 import numpy as np
 
+from repro.analysis.contracts import access_modes
 from repro.cuda.kernels import Kernel
 from repro.workloads.base import Workload, ValueMemo, memoized_input
 from repro.workloads.parboil.mri_common import (
@@ -59,6 +60,7 @@ FHD_KERNEL = Kernel(
 )
 
 
+@access_modes(samples="ro", voxels="ro", rFhD="wo", iFhD="wo")
 class MriFhd(Workload):
     name = "mri-fhd"
     description = "image-specific matrix FHd for 3D MRI reconstruction"

@@ -10,6 +10,7 @@ rolling-update avoids some unnecessary data transfers").
 
 import numpy as np
 
+from repro.analysis.contracts import access_modes
 from repro.cuda.kernels import Kernel
 from repro.workloads.base import Workload, ValueMemo, memoized_input
 from repro.workloads.parboil.mri_common import (
@@ -65,6 +66,8 @@ Q_KERNEL = Kernel(
 )
 
 
+@access_modes(**{"k-coords": "ro", "phi-mag": "ro", "voxels": "ro",
+                 "Q": "wo", "out": "none"})
 class MriQ(Workload):
     name = "mri-q"
     description = "scanner-configuration matrix Q for 3D MRI reconstruction"

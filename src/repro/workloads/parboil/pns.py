@@ -13,6 +13,7 @@ the source of the paper's 65.18x slow-down, the largest in Figure 7.
 import numpy as np
 
 from repro.util.units import MB
+from repro.analysis.contracts import access_modes
 from repro.cuda import backend
 from repro.cuda.kernels import Kernel
 from repro.workloads.base import Workload, ValueMemo, memoized_input
@@ -186,6 +187,7 @@ PNS_KERNEL = Kernel(
 )
 
 
+@access_modes(places="rw", transitions="ro", stats="rw")
 class PetriNet(Workload):
     name = "pns"
     description = "generic Petri net simulation, many short kernel calls"

@@ -22,6 +22,7 @@ rolling-size-dependent thrashing then emerges from the protocol itself.
 import numpy as np
 
 from repro.util.units import MB
+from repro.analysis.contracts import access_modes
 from repro.cuda import backend
 from repro.cuda.kernels import Kernel
 from repro.workloads.base import Workload, ValueMemo, memoized_input
@@ -146,6 +147,7 @@ TPACF_KERNEL = Kernel(
 )
 
 
+@access_modes(points="ro", bins="wo")
 class Tpacf(Workload):
     name = "tpacf"
     description = "two-point angular correlation with multi-pass CPU init"

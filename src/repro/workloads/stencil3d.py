@@ -20,6 +20,7 @@ interposition performs in block-sized chunks).
 
 import numpy as np
 
+from repro.analysis.contracts import access_modes
 from repro.cuda.kernels import Kernel
 from repro.workloads.base import Workload, ValueMemo, memoized_input
 
@@ -92,6 +93,7 @@ STENCIL = Kernel(
 )
 
 
+@access_modes(**{"volume-a": "rw", "volume-b": "rw"})
 class Stencil3D(Workload):
     """Iterative stencil with CPU source introduction and periodic dumps."""
 

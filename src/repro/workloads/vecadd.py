@@ -20,6 +20,7 @@ The experiment extracts two phase times per block size:
 
 import numpy as np
 
+from repro.analysis.contracts import access_modes
 from repro.cuda.kernels import Kernel
 from repro.workloads.base import Workload, memoized_input
 
@@ -49,6 +50,7 @@ VECADD = Kernel(
 )
 
 
+@access_modes(a="ro", b="ro", c="wo")
 class VectorAdd(Workload):
     """Two input vectors produced on the CPU, summed on the accelerator."""
 

@@ -6,7 +6,9 @@ from repro.analysis.mutations import (
     MUTATIONS,
     _scenario_annotated_lazy,
     _scenario_batch,
+    _scenario_declared,
     _scenario_lazy,
+    _scenario_modelcheck,
     _scenario_rolling,
     run_mutation,
 )
@@ -15,7 +17,7 @@ from repro.analysis.mutations import (
 @pytest.mark.parametrize(
     "scenario",
     [_scenario_rolling, _scenario_lazy, _scenario_batch,
-     _scenario_annotated_lazy],
+     _scenario_annotated_lazy, _scenario_declared, _scenario_modelcheck],
     ids=lambda fn: fn.__name__.lstrip("_"),
 )
 def test_unmutated_scenarios_are_clean(scenario):

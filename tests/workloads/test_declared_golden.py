@@ -1,0 +1,87 @@
+"""Golden declared-vs-lazy equivalence: fewer transfers, identical bytes.
+
+The ``declared`` protocol consumes each workload's verified
+``@access_modes`` contract to elide transfers lazy-update performs.  The
+elision must be *pure win*: on every annotated workload the outputs stay
+byte-for-byte identical, both runs are sanitizer-clean, and declared
+never moves more bytes in either direction — with a strict
+device-to-host saving on mri-q, whose ``none``-mode staging window the
+contract lets the protocol skip entirely.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import attach_sanitizer
+from repro.hw.machine import reference_system
+from repro.workloads.base import Application
+from repro.workloads.stencil3d import Stencil3D
+from repro.workloads.vecadd import VectorAdd
+from repro.workloads.parboil.cp import CoulombicPotential
+from repro.workloads.parboil.mrifhd import MriFhd
+from repro.workloads.parboil.mriq import MriQ
+from repro.workloads.parboil.pns import PetriNet
+from repro.workloads.parboil.tpacf import Tpacf
+
+#: (case id, fresh-workload factory) at sizes small enough for CI but
+#: large enough to span several coherence blocks.
+CASES = [
+    ("vecadd", lambda: VectorAdd(elements=1 << 16)),
+    ("3d-stencil", lambda: Stencil3D(n=32, steps=8, dump_interval=4)),
+    ("cp", lambda: CoulombicPotential(grid_n=96, n_atoms=48)),
+    ("mri-q", lambda: MriQ(n_samples=48, n_voxels=65536)),
+    ("mri-fhd", lambda: MriFhd(n_samples=4096, n_voxels=64)),
+    ("pns", lambda: PetriNet(n_places=65536, iterations=12,
+                             sample_interval=4)),
+    ("tpacf", lambda: Tpacf(n_points=65536)),
+]
+
+
+def _run(factory, protocol):
+    """One sanitized run outside Workload.execute, keeping the outputs."""
+    workload = factory()
+    app = Application(reference_system())
+    workload.prepare(app)
+    options = {}
+    if protocol == "declared":
+        options["protocol_options"] = {
+            "modes": dict(type(workload).declared_modes)
+        }
+    gmac = app.gmac(protocol=protocol, layer="driver", **options)
+    sanitizer = attach_sanitizer(
+        gmac, context=f"golden:{workload.name}:{protocol}"
+    )
+    outputs = workload.run_gmac(app, gmac)
+    violations = sanitizer.finish(raise_on_violation=False)
+    return {
+        "outputs": {key: np.asarray(value) for key, value in outputs.items()},
+        "to_acc": gmac.bytes_to_accelerator,
+        "to_host": gmac.bytes_to_host,
+        "violations": violations,
+    }
+
+
+@pytest.mark.parametrize("factory", [f for _, f in CASES],
+                         ids=[name for name, _ in CASES])
+def test_declared_matches_lazy_bytes_and_never_moves_more(factory):
+    lazy = _run(factory, "lazy")
+    declared = _run(factory, "declared")
+    assert lazy["violations"] == [], [v.rule for v in lazy["violations"]]
+    assert declared["violations"] == [], [
+        f"{v.rule}: {v.message}" for v in declared["violations"]
+    ]
+    assert set(declared["outputs"]) == set(lazy["outputs"])
+    for key, lazy_value in lazy["outputs"].items():
+        assert declared["outputs"][key].tobytes() == lazy_value.tobytes(), (
+            f"output {key!r} diverged under the declared protocol"
+        )
+    assert declared["to_acc"] <= lazy["to_acc"]
+    assert declared["to_host"] <= lazy["to_host"]
+
+
+def test_mriq_staging_window_is_a_strict_win():
+    """mri-q's 'none'-mode write-back window never crosses the bus."""
+    factory = dict(CASES)["mri-q"]
+    lazy = _run(factory, "lazy")
+    declared = _run(factory, "declared")
+    assert declared["to_host"] < lazy["to_host"]
